@@ -1,0 +1,24 @@
+"""A1 -- ablating the phase length Phi = 8d.
+
+Design-choice check: the paper's Phi = tau_skew + 2d gives every relay
+round enough slack for a full message exchange at worst-case skew and
+delay.  Shrinking it must break Agreement in relay-dependent scenarios --
+and restoring the paper's value must restore correctness.
+"""
+
+from repro.harness.ablations import run_a1_phi_ablation
+
+from benchmarks.conftest import measure_experiment
+
+
+def bench_a1_phi_ablation(benchmark):
+    rows = measure_experiment(
+        benchmark,
+        lambda: run_a1_phi_ablation(phi_scales=(0.25, 0.5, 0.75, 1.0), seeds=range(8)),
+        "A1: agreement vs phase-length scale",
+    )
+    by_scale = {row["phi_scale"]: row for row in rows}
+    # The paper's Phi is safe...
+    assert by_scale[1.0]["violations"] == 0
+    # ...and meaningfully load-bearing: aggressive shrinking breaks runs.
+    assert by_scale[0.25]["violations"] > 0

@@ -1,0 +1,23 @@
+"""A2 -- ablating the background cleanup cadence.
+
+The decay rules (Figures 1-3 cleanup blocks) are what make the protocol
+self-stabilizing; this bench stretches how often they run and reports
+stabilization success.  The Delta_stb bound has enough slack that moderate
+stretching is harmless -- the artifact quantifies "moderate".
+"""
+
+from repro.harness.ablations import run_a2_cleanup_interval
+
+from benchmarks.conftest import measure_experiment
+
+
+def bench_a2_cleanup_interval(benchmark):
+    rows = measure_experiment(
+        benchmark,
+        lambda: run_a2_cleanup_interval(
+            intervals_d=(0.5, 1.0, 4.0, 16.0), seeds=range(5)
+        ),
+        "A2: stabilization vs cleanup cadence",
+    )
+    default = next(row for row in rows if row["cleanup_interval_d"] == 1.0)
+    assert default["recovered"] == default["runs"]

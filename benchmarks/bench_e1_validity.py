@@ -1,0 +1,23 @@
+"""E1 -- Validity + Timeliness-2 with a correct General.
+
+Paper claim (Theorem 3 Validity; Timeliness-2): every correct node decides
+the General's value with ``t0 - d <= rt(tau_G_q) <= rt(tau_q) <= t0 + 4d``
+and decision spread <= 2d.
+"""
+
+from repro.harness.experiments import run_e1_validity
+
+from benchmarks.conftest import measure_experiment
+
+
+def bench_e1_validity(benchmark):
+    rows = measure_experiment(
+        benchmark,
+        lambda: run_e1_validity(ns=(4, 7, 10, 13), seeds=range(10)),
+        "E1: validity + timeliness with a correct General",
+    )
+    for row in rows:
+        assert row["validity_ok"] == row["runs"]
+        assert row["timeliness_ok"] == row["runs"]
+        assert row["latency_max_d"] <= row["latency_bound_d"]
+        assert row["spread_max_d"] <= row["spread_bound_d"]

@@ -1,0 +1,21 @@
+"""E2 -- Agreement under a Byzantine General.
+
+Paper claim (Theorem 3 Agreement): whatever an adversarial General does --
+equivocation, staggered or selective sends, Byzantine helpers -- if any
+correct node decides, all correct nodes decide the same value.
+"""
+
+from repro.harness.experiments import run_e2_byzantine_general
+
+from benchmarks.conftest import measure_experiment
+
+
+def bench_e2_byzantine_general(benchmark):
+    rows = measure_experiment(
+        benchmark,
+        lambda: run_e2_byzantine_general(n=7, seeds=range(10)),
+        "E2: agreement under Byzantine Generals",
+    )
+    for row in rows:
+        assert row["agreement_ok"] == row["runs"], row
+        assert row["splits"] == 0

@@ -1,0 +1,23 @@
+"""E4 -- Early stopping: O(f') rounds with f' actual faults.
+
+Paper claim (Section 1, Timeliness-3): agreement completes within O(f')
+communication rounds where f' <= f is the number of *actual* concurrent
+faults -- far below the worst-case (2f + 1) Phi when few nodes are faulty.
+"""
+
+from repro.harness.experiments import run_e4_early_stopping
+
+from benchmarks.conftest import measure_experiment
+
+
+def bench_e4_early_stopping(benchmark):
+    rows = measure_experiment(
+        benchmark,
+        lambda: run_e4_early_stopping(n=13, seeds=range(8)),
+        "E4: early stopping vs actual fault count f'",
+    )
+    means = [row["latency_mean_d"] for row in rows]
+    assert means[0] <= means[-1]  # latency grows with f'
+    for row in rows:
+        assert row["validity_ok"] == row["runs"]
+        assert row["latency_max_d"] < row["worstcase_bound_d"] / 2

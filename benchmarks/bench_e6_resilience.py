@@ -1,0 +1,21 @@
+"""E6 -- The resilience bound n > 3f is tight.
+
+Paper claim (Theorem 3 assumption): agreement holds when n > 3f.  The same
+coordinated split-world attack that provably fails with f' = 2 at n = 7
+partitions the correct nodes when run with f' = 3 (n <= 3f').
+"""
+
+from repro.harness.experiments import run_e6_resilience
+
+from benchmarks.conftest import measure_experiment
+
+
+def bench_e6_resilience(benchmark):
+    rows = measure_experiment(
+        benchmark,
+        lambda: run_e6_resilience(seeds=range(10)),
+        "E6: resilience boundary (split-world attack)",
+    )
+    within, beyond = rows
+    assert within["agreement_ok"] == within["runs"]
+    assert beyond["splits"] == beyond["runs"]

@@ -1,0 +1,22 @@
+"""E7 -- Initiator-Accept bounds (Theorem 1).
+
+Paper claims: with a correct General all correct nodes I-accept within 4d
+of initiation (IA-1A), within 2d of each other (IA-1B), with anchors within
+d of each other (IA-1C) and inside [t0 - d, t0 + 4d] (IA-1D).
+"""
+
+from repro.harness.experiments import run_e7_initiator_accept
+
+from benchmarks.conftest import measure_experiment
+
+
+def bench_e7_initiator_accept(benchmark):
+    rows = measure_experiment(
+        benchmark,
+        lambda: run_e7_initiator_accept(ns=(4, 7, 10), seeds=range(10)),
+        "E7: Initiator-Accept bounds (IA-1)",
+    )
+    for row in rows:
+        assert row["ia1_ok"] == row["runs"]
+        assert row["accept_spread_max_d"] <= row["accept_spread_bound_d"]
+        assert row["anchor_spread_max_d"] <= row["anchor_spread_bound_d"]

@@ -1,0 +1,21 @@
+"""E8 -- Separation / Uniqueness across recurrent agreements.
+
+Paper claims (IA-4, Timeliness-4): anchors of agreements on *different*
+values are more than 4d apart; anchors for the *same* value are within 6d
+(same execution) or more than 2 Delta_rmv - 3d apart (separate executions).
+"""
+
+from repro.harness.experiments import run_e8_separation
+
+from benchmarks.conftest import measure_experiment
+
+
+def bench_e8_separation(benchmark):
+    rows = measure_experiment(
+        benchmark,
+        lambda: run_e8_separation(n=7, rounds=3, seeds=range(5)),
+        "E8: separation across recurrent agreements",
+    )
+    row = rows[0]
+    assert row["separation_ok"] == row["runs"]
+    assert row["separation_and_agreement_ok"] == row["runs"]

@@ -1,0 +1,23 @@
+"""E9 -- Message complexity and scaling.
+
+Shape claim: the protocol exchanges O(n^2) messages per phase (every wave
+is an all-to-all of one message kind), and decision latency is independent
+of n when the General is correct (the fast path is a constant number of
+message exchanges).
+"""
+
+from repro.harness.experiments import run_e9_scaling
+
+from benchmarks.conftest import measure_experiment
+
+
+def bench_e9_scaling(benchmark):
+    rows = measure_experiment(
+        benchmark,
+        lambda: run_e9_scaling(ns=(4, 7, 10, 13, 16, 19, 22, 25), seeds=range(3)),
+        "E9: message complexity and latency vs n",
+    )
+    messages = [row["messages_mean"] for row in rows]
+    assert messages == sorted(messages)
+    latencies = [row["latency_mean_d"] for row in rows]
+    assert max(latencies) <= 4.0  # correct-General fast path stays constant

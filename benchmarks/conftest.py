@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_eXX_*.py`` regenerates one experiment from DESIGN.md section 4:
+it prints the experiment's result table (the artifact EXPERIMENTS.md
+records) and reports wall-clock via pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def print_rows(title: str, rows: list[dict]) -> None:
+    """Print an experiment's result table in a stable, greppable format."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        cells = ", ".join(f"{key}={_fmt(value)}" for key, value in row.items())
+        print(f"  {cells}")
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def measure_experiment(benchmark, fn: Callable[[], list[dict]], title: str) -> list[dict]:
+    """Benchmark an experiment driver with a single timed round and print
+    the rows it produced."""
+    result_holder: dict = {}
+
+    def run() -> None:
+        result_holder["rows"] = fn()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = result_holder["rows"]
+    print_rows(title, rows)
+    return rows

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""The message-driven advantage: latency vs the classic lock-step baseline.
+
+Sweeps the *actual* network delay from 10% to 100% of the model bound
+``delta`` and compares decision latency:
+
+* **ss-Byz-Agree** progresses as messages arrive -- its latency tracks the
+  actual network speed;
+* **TPS'87** (time-driven lock-step rounds, what ss-Byz-Agree is modeled
+  on) always pays full worst-case phases ``Phi = 8d``.
+
+This is the paper's headline systems claim: "the actual time for
+terminating the protocol depends on the actual communication network speed
+and not on the worst possible bound on message delivery time."
+
+Run:  python examples/message_driven_speed.py
+"""
+
+from repro import Cluster, ProtocolParams, ScenarioConfig
+from repro.baselines.tps87 import Tps87Cluster
+from repro.harness.metrics import decision_latencies
+from repro.net.delivery import UniformDelay
+
+
+def main() -> None:
+    params = ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4)
+    print(f"n={params.n} f={params.f} delta={params.delta} Phi={params.phi}")
+    print(f"{'actual delay':>14s} {'ss-Byz-Agree':>14s} {'TPS87':>10s} {'speedup':>9s}")
+
+    for frac in (0.1, 0.25, 0.5, 0.75, 1.0):
+        policy = UniformDelay(0.05 * frac * params.delta, frac * params.delta)
+
+        cluster = Cluster(ScenarioConfig(params=params, seed=11, policy=policy))
+        t0 = cluster.sim.now
+        cluster.propose(general=0, value="v")
+        cluster.run_for(params.delta_agr + 10 * params.d)
+        ss_latencies = decision_latencies(
+            list(cluster.latest_decision_per_node(0).values()), t0
+        )
+        ss_mean = sum(ss_latencies) / len(ss_latencies)
+
+        tps = Tps87Cluster(
+            params,
+            seed=11,
+            policy=UniformDelay(0.05 * frac * params.delta, frac * params.delta),
+        )
+        tps.initiate("v")
+        tps_decisions = tps.run_to_completion()
+        tps_mean = sum(d.returned_real for d in tps_decisions) / len(tps_decisions)
+
+        print(
+            f"{frac:13.0%} {ss_mean:14.2f} {tps_mean:10.2f} "
+            f"{tps_mean / ss_mean:8.1f}x"
+        )
+
+    print("\nss-Byz-Agree tracks the actual network; the lock-step baseline "
+          "pays worst-case phases. ✓")
+
+
+if __name__ == "__main__":
+    main()

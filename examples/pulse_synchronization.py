@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Synchronized pulses atop ss-Byz-Agree (the paper's [6] direction).
+
+The paper notes that synchronized pulses -- a common periodic "heartbeat"
+event at all correct nodes, the missing ingredient for making *any*
+Byzantine algorithm self-stabilizing -- can be produced atop ss-Byz-Agree.
+This example runs the reconstruction in ``repro.extensions.pulse_sync``:
+
+* nodes rotate as initiators of recurrent pulse agreements;
+* every correct node fires its pulse at its decision instant, so the pulse
+  skew is bounded by the protocol's 3d decision spread;
+* a crashed would-be initiator is ridden over by the staggered fallback
+  timers.
+
+Run:  python examples/pulse_synchronization.py
+"""
+
+from repro import ProtocolParams
+from repro.extensions.pulse_sync import PulseSyncCluster
+from repro.faults.byzantine import CrashStrategy
+
+
+def show_trains(ps: PulseSyncCluster, label: str) -> None:
+    print(f"\n{label}")
+    events = ps.aligned_pulses()
+    for k, event in enumerate(events):
+        first = min(event.values())
+        skew = max(event.values()) - first
+        print(f"  pulse {k}: t={first:9.2f}  skew={skew:.3f}d "
+              f"(bound {3 * ps.params.d:.1f})")
+
+
+def main() -> None:
+    params = ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4)
+
+    print("=== all nodes correct ===")
+    ps = PulseSyncCluster(params, seed=1)
+    ps.run_for(6 * ps.pulse_config.cycle)
+    show_trains(ps, "pulse events:")
+    assert ps.max_skew() <= 3 * params.d
+
+    print("\n=== usual initiator (node 0) crashed ===")
+    ps2 = PulseSyncCluster(params, seed=2, byzantine={0: CrashStrategy()})
+    ps2.run_for(6 * ps2.pulse_config.cycle)
+    show_trains(ps2, "pulse events (fallback initiator):")
+    assert ps2.max_skew() <= 3 * params.d
+
+    print("\nPulses stay within the 3d skew bound in both runs. ✓")
+
+
+if __name__ == "__main__":
+    main()

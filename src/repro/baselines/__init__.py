@@ -1,0 +1,16 @@
+"""Baseline protocols the paper is compared against.
+
+* :mod:`repro.baselines.tps87` -- the Toueg-Perry-Srikanth (1987) fast
+  Byzantine agreement with its original *time-driven* lock-step rounds.
+  ss-Byz-Agree is explicitly modeled on this protocol (paper Section 3); the
+  baseline quantifies what the message-driven round structure buys (E5).
+* :mod:`repro.baselines.eig` -- classic Exponential Information Gathering
+  Byzantine agreement.  It is correct in the synchronous fault model but is
+  *not* self-stabilizing: experiment E10 shows it violating agreement when
+  started from a corrupted state that ss-Byz-Agree shrugs off.
+"""
+
+from repro.baselines.eig import EigCluster, EigNode
+from repro.baselines.tps87 import Tps87Cluster, Tps87Node
+
+__all__ = ["EigCluster", "EigNode", "Tps87Cluster", "Tps87Node"]

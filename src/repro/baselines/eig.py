@@ -1,0 +1,226 @@
+"""Classic Exponential Information Gathering (EIG) Byzantine agreement.
+
+The canonical *non-self-stabilizing* baseline: synchronous rounds, an EIG
+tree per node, recursive-majority resolution after ``f + 1`` rounds.
+Correct under the classic assumptions (synchronized start, clean initial
+state, ``n > 3f``), and exactly the kind of protocol the paper's
+introduction argues cannot survive transient faults: its entire safety
+argument lives in the consistency of the tree state, so a transient fault
+that corrupts trees mid-run silently yields disagreeing decisions, with no
+mechanism to ever detect or repair them.
+
+Experiment E10 runs the same corruption suite against EIG and ss-Byz-Agree
+and reports the disagreement rates side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from repro.core.params import ProtocolParams
+from repro.net.delivery import DeliveryPolicy, UniformDelay
+from repro.net.network import Envelope, Network
+from repro.node.base import Node, NodeContext
+from repro.sim.clock import ClockConfig
+from repro.sim.engine import Simulator
+from repro.sim.rand import RandomSource
+from repro.sim.trace import Tracer
+
+Value = Hashable
+Path = tuple[int, ...]
+
+DEFAULT_VALUE: Value = "eig-default"
+
+
+@dataclass(frozen=True)
+class EigRoundMsg:
+    """One node's round-``r`` report: its tree level as {path: value}."""
+
+    general: int
+    round: int
+    reports: tuple[tuple[Path, Value], ...]
+
+
+class EigNode(Node):
+    """One EIG participant with a synchronized round clock."""
+
+    def __init__(
+        self,
+        node_id: int,
+        ctx: NodeContext,
+        params: ProtocolParams,
+        general: int,
+        t0: float,
+        round_length: float,
+    ) -> None:
+        super().__init__(node_id, ctx)
+        self.params = params
+        self.general = general
+        self.t0 = t0
+        self.round_length = round_length
+        # tree[path] = value reported along that label path; path[0] == general.
+        self.tree: dict[Path, Value] = {}
+        self.decision: Optional[Value] = None
+        self._pending: dict[int, dict[int, dict[Path, Value]]] = {}
+        self._schedule_rounds()
+
+    # ------------------------------------------------------------------
+    # Round clock
+    # ------------------------------------------------------------------
+    def _schedule_rounds(self) -> None:
+        for r in range(self.params.f + 2):
+            boundary = self.t0 + (r + 1) * self.round_length
+            self.sim.schedule_in(
+                max(0.0, boundary - self.sim.now),
+                lambda r=r: self._end_of_round(r),
+                tag=f"eig:round{r}",
+            )
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def set_initial_value(self, value: Value) -> None:
+        """Round-0 receipt of the General's value (root of the tree)."""
+        self.tree[(self.general,)] = value
+
+    def on_message(self, envelope: Envelope) -> None:
+        msg = envelope.payload
+        if not isinstance(msg, EigRoundMsg) or msg.general != self.general:
+            return
+        per_round = self._pending.setdefault(msg.round, {})
+        per_round.setdefault(envelope.sender, dict(msg.reports))
+
+    def _end_of_round(self, r: int) -> None:
+        if self.decision is not None:
+            return
+        if r > 0:
+            # Fold the reports of round r into tree level r + 1.
+            for sender, reports in self._pending.get(r, {}).items():
+                for path, value in reports.items():
+                    if len(path) != r or sender in path:
+                        continue  # malformed or duplicate-label: discard
+                    self.tree[path + (sender,)] = value
+        if r < self.params.f + 1:
+            # Send this node's level-(r + 1) view to everyone.
+            level = {
+                path: value
+                for path, value in self.tree.items()
+                if len(path) == r + 1 and self.node_id not in path[1:]
+            }
+            self.broadcast(
+                EigRoundMsg(self.general, r + 1, tuple(sorted(level.items(), key=repr)))
+            )
+        else:
+            self.decision = self._resolve((self.general,))
+            self.trace("eig_decide", value=self.decision)
+
+    # ------------------------------------------------------------------
+    # Recursive majority resolution
+    # ------------------------------------------------------------------
+    def _resolve(self, path: Path) -> Value:
+        depth = len(path)
+        if depth == self.params.f + 2:
+            return self.tree.get(path, DEFAULT_VALUE)
+        children = [
+            child
+            for child in range(self.params.n)
+            if child not in path
+        ]
+        if not children:
+            return self.tree.get(path, DEFAULT_VALUE)
+        votes: dict[Value, int] = {}
+        for child in children:
+            value = self._resolve(path + (child,))
+            votes[value] = votes.get(value, 0) + 1
+        best_value, best_count = max(votes.items(), key=lambda kv: (kv[1], repr(kv[0])))
+        if best_count * 2 > len(children):
+            return best_value
+        return DEFAULT_VALUE
+
+    # ------------------------------------------------------------------
+    # Transient corruption (the E10 payload)
+    # ------------------------------------------------------------------
+    def corrupt_tree(
+        self, rng: RandomSource, value_pool: list[Value], probability: float = 0.5
+    ) -> None:
+        """Overwrite a random subset of the EIG state with garbage.
+
+        Hits both the folded tree and the buffered (not yet folded) round
+        reports -- a transient fault corrupts memory, not just one data
+        structure.
+        """
+        for path in list(self.tree):
+            if rng.chance(probability):
+                self.tree[path] = rng.choice(value_pool)
+        for per_round in self._pending.values():
+            for reports in per_round.values():
+                for path in list(reports):
+                    if rng.chance(probability):
+                        reports[path] = rng.choice(value_pool)
+        self.trace("eig_corrupted")
+
+
+class EigCluster:
+    """A synchronized cluster running one EIG agreement."""
+
+    def __init__(
+        self,
+        params: ProtocolParams,
+        seed: int = 0,
+        general: int = 0,
+        policy: Optional[DeliveryPolicy] = None,
+    ) -> None:
+        self.params = params
+        self.general = general
+        self.rng = RandomSource(seed, "eig")
+        self.sim = Simulator()
+        self.tracer = Tracer()
+        self.net = Network(
+            self.sim,
+            policy or UniformDelay(0.1 * params.delta, params.delta),
+            self.rng.split("net"),
+            self.tracer,
+        )
+        self.round_length = 2.0 * params.d
+        self.nodes: dict[int, EigNode] = {}
+        for node_id in range(params.n):
+            ctx = NodeContext(
+                sim=self.sim, net=self.net, tracer=self.tracer, clock_config=ClockConfig()
+            )
+            self.nodes[node_id] = EigNode(
+                node_id, ctx, params, general, t0=0.0, round_length=self.round_length
+            )
+
+    def initiate(self, value: Value) -> None:
+        """Give every node the General's round-0 value (correct General)."""
+        for node in self.nodes.values():
+            node.set_initial_value(value)
+
+    def initiate_equivocating(self, assignment: dict[int, Value]) -> None:
+        """A Byzantine General hands different round-0 values per node."""
+        for node_id, value in assignment.items():
+            self.nodes[node_id].set_initial_value(value)
+
+    def corrupt_mid_run(self, value_pool: list[Value], at_round: int = 1) -> None:
+        """Schedule a transient fault hitting every tree mid-protocol."""
+        when = (at_round + 0.5) * self.round_length
+
+        def strike() -> None:
+            for node in self.nodes.values():
+                node.corrupt_tree(self.rng.split(f"corrupt/{node.node_id}"), value_pool)
+
+        self.sim.schedule_in(max(0.0, when - self.sim.now), strike, tag="eig:corrupt")
+
+    def run_to_completion(self) -> dict[int, Value]:
+        """Run all rounds; returns per-node decisions."""
+        horizon = (self.params.f + 3) * self.round_length
+        self.sim.run_until(horizon)
+        return {
+            node_id: node.decision
+            for node_id, node in self.nodes.items()
+            if node.decision is not None
+        }
+
+
+__all__ = ["DEFAULT_VALUE", "EigCluster", "EigNode", "EigRoundMsg"]

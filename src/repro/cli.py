@@ -1,0 +1,163 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro.cli constants --n 7 --f 2 --delta 1.0
+        Print the derived timing constants for a configuration.
+
+    python -m repro.cli run --n 7 --f 2 --seed 3 [--attack equivocate]
+        Run one agreement scenario and print per-node outcomes plus the
+        property-checker verdicts.
+
+    python -m repro.cli stabilize --n 7 --seed 5
+        Run the havoc -> Delta_stb -> agree stabilization scenario and
+        report recovery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.params import BOTTOM, ProtocolParams, max_faults
+from repro.faults.byzantine import (
+    CrashStrategy,
+    EquivocatingGeneralStrategy,
+    SelectiveGeneralStrategy,
+    StaggeredGeneralStrategy,
+)
+from repro.faults.transient import TransientFaultInjector
+from repro.harness import properties
+from repro.harness.scenario import Cluster, ScenarioConfig
+
+ATTACKS = ("none", "equivocate", "staggered", "selective", "crash")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-stabilizing Byzantine Agreement (Daliot & Dolev, PODC 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_model_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--n", type=int, default=7, help="number of nodes")
+        p.add_argument("--f", type=int, default=None, help="fault bound (default: max for n)")
+        p.add_argument("--delta", type=float, default=1.0, help="message delay bound")
+        p.add_argument("--rho", type=float, default=1e-4, help="clock drift bound")
+
+    constants = sub.add_parser("constants", help="print derived timing constants")
+    add_model_args(constants)
+
+    run = sub.add_parser("run", help="run one agreement scenario")
+    add_model_args(run)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--value", default="v", help="the General's value")
+    run.add_argument("--general", type=int, default=0)
+    run.add_argument("--attack", choices=ATTACKS, default="none")
+
+    stab = sub.add_parser("stabilize", help="havoc -> wait Delta_stb -> agree")
+    add_model_args(stab)
+    stab.add_argument("--seed", type=int, default=0)
+    stab.add_argument("--garbage", type=int, default=300, help="forged messages")
+    return parser
+
+
+def _params(args: argparse.Namespace) -> ProtocolParams:
+    f = args.f if args.f is not None else max_faults(args.n)
+    return ProtocolParams(n=args.n, f=f, delta=args.delta, rho=args.rho)
+
+
+def cmd_constants(args: argparse.Namespace) -> int:
+    params = _params(args)
+    for name, value in params.describe().items():
+        print(f"{name:12s} = {value}")
+    return 0
+
+
+def _attack_strategies(args: argparse.Namespace, params: ProtocolParams) -> dict:
+    others = tuple(i for i in range(params.n) if i != args.general)
+    half = len(others) // 2
+    if args.attack == "none":
+        return {}
+    if args.attack == "equivocate":
+        return {
+            args.general: EquivocatingGeneralStrategy(
+                "A", "B", others[:half], others[half:]
+            )
+        }
+    if args.attack == "staggered":
+        return {
+            args.general: StaggeredGeneralStrategy("S", spread_local=10 * params.d)
+        }
+    if args.attack == "selective":
+        return {args.general: SelectiveGeneralStrategy("X", others[: len(others) - 1])}
+    if args.attack == "crash":
+        return {args.general: CrashStrategy()}
+    raise AssertionError(args.attack)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    params = _params(args)
+    byzantine = _attack_strategies(args, params)
+    cluster = Cluster(
+        ScenarioConfig(params=params, seed=args.seed, byzantine=byzantine)
+    )
+    if args.attack == "none":
+        t0 = cluster.sim.now
+        cluster.propose(general=args.general, value=args.value)
+    cluster.run_for(3 * params.delta_agr)
+
+    latest = cluster.latest_decision_per_node(args.general)
+    if not latest:
+        print("no correct node returned anything")
+    for node_id in sorted(latest):
+        dec = latest[node_id]
+        outcome = "ABORT" if dec.value is BOTTOM else repr(dec.value)
+        print(f"node {node_id}: {outcome} at rt={dec.returned_real:.2f}")
+
+    report = properties.agreement(cluster, args.general)
+    print(f"agreement: {report.holds}")
+    if args.attack == "none":
+        validity = properties.validity(cluster, args.general, args.value)
+        timeliness = properties.timeliness_validity(cluster, args.general, t0)
+        print(f"validity:  {validity.holds}")
+        print(f"timeliness: {timeliness.holds}")
+        return 0 if (report.holds and validity.holds and timeliness.holds) else 1
+    return 0 if report.holds else 1
+
+
+def cmd_stabilize(args: argparse.Namespace) -> int:
+    params = _params(args)
+    cluster = Cluster(ScenarioConfig(params=params, seed=args.seed))
+    injector = TransientFaultInjector(
+        params, cluster.rng.split("inj"), value_pool=["A", "B", "C"], generals=[0, 1]
+    )
+    cluster.run_for(5 * params.d)
+    injector.havoc(cluster.correct_nodes(), cluster.net, args.garbage)
+    print(f"havoc applied (garbage={args.garbage}); waiting Delta_stb = "
+          f"{params.delta_stb:.0f}")
+    cluster.run_for(params.delta_stb)
+    since = cluster.sim.now
+    ok = cluster.propose(general=0, value="recovered")
+    cluster.run_for(params.delta_agr + 10 * params.d)
+    validity = properties.validity(cluster, 0, "recovered", since_real=since)
+    print(f"proposal unblocked: {ok}")
+    print(f"post-stabilization validity: {validity.holds}")
+    return 0 if (ok and validity.holds) else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "constants":
+        return cmd_constants(args)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "stabilize":
+        return cmd_stabilize(args)
+    raise AssertionError(args.command)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

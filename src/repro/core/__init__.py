@@ -1,0 +1,44 @@
+"""The paper's contribution: ss-Byz-Agree and its two building blocks.
+
+* :mod:`repro.core.params` -- the timing-constant algebra of Section 3.
+* :mod:`repro.core.messages` -- the protocol message vocabulary.
+* :mod:`repro.core.initiator_accept` -- the Initiator-Accept primitive
+  (Section 4, Figure 2).
+* :mod:`repro.core.msgd_broadcast` -- the message-driven reliable broadcast
+  primitive (Section 5, Figure 3).
+* :mod:`repro.core.agreement` -- the ss-Byz-Agree protocol proper
+  (Section 3, Figure 1) and the per-node orchestration.
+"""
+
+from repro.core.agreement import AgreementInstance, Decision, ProtocolNode
+from repro.core.initiator_accept import InitiatorAccept
+from repro.core.messages import (
+    ApproveMsg,
+    InitiatorMsg,
+    MBEchoMsg,
+    MBEchoPrimeMsg,
+    MBInitMsg,
+    MBInitPrimeMsg,
+    ReadyMsg,
+    SupportMsg,
+)
+from repro.core.msgd_broadcast import MsgdBroadcast
+from repro.core.params import BOTTOM, ProtocolParams
+
+__all__ = [
+    "AgreementInstance",
+    "ApproveMsg",
+    "BOTTOM",
+    "Decision",
+    "InitiatorAccept",
+    "InitiatorMsg",
+    "MBEchoMsg",
+    "MBEchoPrimeMsg",
+    "MBInitMsg",
+    "MBInitPrimeMsg",
+    "MsgdBroadcast",
+    "ProtocolNode",
+    "ProtocolParams",
+    "ReadyMsg",
+    "SupportMsg",
+]

@@ -1,0 +1,124 @@
+"""Protocol message vocabulary.
+
+Two families, matching the paper's two primitives:
+
+* Initiator-Accept traffic (Figure 2): ``(Initiator, G, m)`` from the
+  General, then ``(support, G, m)``, ``(approve, G, m)``, ``(ready, G, m)``
+  among all nodes.
+* msgd-broadcast traffic (Figure 3), always in the context of a General's
+  agreement instance: ``(init, p, m, k)``, ``(echo, p, m, k)``,
+  ``(init', p, m, k)``, ``(echo', p, m, k)``.
+
+Messages are frozen dataclasses so Byzantine code cannot mutate a message
+another node already holds; equivocation is modelled by *sending different
+messages*, exactly as in reality.
+
+Sender identity is **not** part of the payload: the network authenticates it
+(Definition 2), and receivers read it off the envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+Value = Hashable
+
+
+# ---------------------------------------------------------------------------
+# Initiator-Accept family
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class InitiatorMsg:
+    """``(Initiator, G, m)`` -- the General's initiation (Block Q0 / K)."""
+
+    general: int
+    value: Value
+
+
+@dataclass(frozen=True)
+class SupportMsg:
+    """``(support, G, m)`` -- Block K2 response to an initiation."""
+
+    general: int
+    value: Value
+
+
+@dataclass(frozen=True)
+class ApproveMsg:
+    """``(approve, G, m)`` -- Block L4, sent on a strong support quorum."""
+
+    general: int
+    value: Value
+
+
+@dataclass(frozen=True)
+class ReadyMsg:
+    """``(ready, G, m)`` -- Blocks M4/N2, the final (untimed) wave."""
+
+    general: int
+    value: Value
+
+
+# ---------------------------------------------------------------------------
+# msgd-broadcast family (context: the agreement instance of ``general``)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class MBInitMsg:
+    """``(init, p, m, k)`` -- node ``origin`` msgd-broadcasts value at round k."""
+
+    general: int
+    origin: int
+    value: Value
+    k: int
+
+
+@dataclass(frozen=True)
+class MBEchoMsg:
+    """``(echo, p, m, k)`` -- Block W relay of a received init."""
+
+    general: int
+    origin: int
+    value: Value
+    k: int
+
+
+@dataclass(frozen=True)
+class MBInitPrimeMsg:
+    """``(init', p, m, k)`` -- Block X relay on a weak echo quorum."""
+
+    general: int
+    origin: int
+    value: Value
+    k: int
+
+
+@dataclass(frozen=True)
+class MBEchoPrimeMsg:
+    """``(echo', p, m, k)`` -- Blocks Y/Z second-wave echo."""
+
+    general: int
+    origin: int
+    value: Value
+    k: int
+
+
+IA_MESSAGE_TYPES = (InitiatorMsg, SupportMsg, ApproveMsg, ReadyMsg)
+MB_MESSAGE_TYPES = (MBInitMsg, MBEchoMsg, MBInitPrimeMsg, MBEchoPrimeMsg)
+ALL_MESSAGE_TYPES = IA_MESSAGE_TYPES + MB_MESSAGE_TYPES
+
+
+__all__ = [
+    "ALL_MESSAGE_TYPES",
+    "ApproveMsg",
+    "IA_MESSAGE_TYPES",
+    "InitiatorMsg",
+    "MB_MESSAGE_TYPES",
+    "MBEchoMsg",
+    "MBEchoPrimeMsg",
+    "MBInitMsg",
+    "MBInitPrimeMsg",
+    "ReadyMsg",
+    "SupportMsg",
+    "Value",
+]

@@ -1,0 +1,291 @@
+"""The msgd-broadcast primitive (paper Section 5, Figure 3).
+
+A message-driven replacement for the synchronous Reliable Broadcast of
+Toueg, Perry and Srikanth [TPS'87].  Two departures from the original:
+
+1. Rounds are **anchored** at ``tau_G`` -- the local-time estimate of the
+   General's initiation produced by Initiator-Accept -- instead of a global
+   round clock.  Every deadline below is of the form
+   ``tau_q <= tau_G + c * Phi``.
+2. Deadlines are **upper bounds only**: a node acts as soon as the required
+   messages arrive, so under fast actual delivery the primitive (and the
+   agreement above it) *rushes* ahead of the worst-case phase structure.
+   This is the property experiment E5 measures against the time-driven
+   baseline.
+
+Messages arriving before the anchor is known are logged and replayed the
+moment Initiator-Accept sets the anchor ("nodes log messages until they are
+able to process them").
+
+Satisfies TPS-1 (Correctness), TPS-2 (Unforgeability), TPS-3 (Relay) and
+TPS-4 (Detection of broadcasters) once the system is stable -- checked
+mechanically by :mod:`repro.harness.properties`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.core.messages import (
+    MBEchoMsg,
+    MBEchoPrimeMsg,
+    MBInitMsg,
+    MBInitPrimeMsg,
+    Value,
+)
+from repro.core.params import ProtocolParams
+from repro.node.msglog import MessageLog
+from repro.sim.rand import RandomSource
+
+
+class Host(Protocol):
+    """What the primitive needs from its hosting node."""
+
+    node_id: int
+    params: ProtocolParams
+
+    def local_now(self) -> float: ...
+    def broadcast(self, payload: object) -> None: ...
+    def trace(self, kind: str, **detail: object) -> None: ...
+
+
+# Callback signature: (origin p, value m, round k, accept local-time).
+AcceptCallback = Callable[[int, Value, int, float], None]
+# Callback: origin p was added to broadcasters.
+BroadcasterCallback = Callable[[int], None]
+
+Triplet = tuple[int, Value, int]  # (p, m, k)
+
+
+class MsgdBroadcast:
+    """One msgd-broadcast context: all (p, m, k) triplets for one General."""
+
+    INIT = "mb_init"
+    ECHO = "mb_echo"
+    INIT_PRIME = "mb_init_prime"
+    ECHO_PRIME = "mb_echo_prime"
+
+    def __init__(
+        self,
+        host: Host,
+        general: int,
+        on_accept: AcceptCallback,
+        on_broadcaster: Optional[BroadcasterCallback] = None,
+    ) -> None:
+        self.host = host
+        self.general = general
+        self.on_accept = on_accept
+        self.on_broadcaster = on_broadcaster
+        self.params = host.params
+
+        self.anchor: Optional[float] = None  # tau_G on this node's clock
+        self.log = MessageLog()
+        self.broadcasters: dict[int, float] = {}  # node -> local add time
+        self.accepted: dict[Triplet, float] = {}  # triplet -> local accept time
+        self._sent: set[tuple[str, Triplet]] = set()
+        self._known_triplets: set[Triplet] = set()
+
+    # ------------------------------------------------------------------
+    # Anchor management
+    # ------------------------------------------------------------------
+    def set_anchor(self, tau_g: float) -> None:
+        """Define ``tau_G``; replays any backlog logged before it was known."""
+        self.anchor = tau_g
+        for triplet in sorted(self._known_triplets, key=repr):
+            self.evaluate(triplet)
+
+    def clear_anchor(self) -> None:
+        """Undefine the anchor (instance reset)."""
+        self.anchor = None
+
+    # ------------------------------------------------------------------
+    # Invocation (Block V)
+    # ------------------------------------------------------------------
+    def invoke(self, value: Value, k: int) -> None:
+        """msgd-broadcast (q, value, k): send init to all (Line V)."""
+        msg = MBInitMsg(self.general, self.host.node_id, value, k)
+        self.host.broadcast(msg)
+        self.host.trace(
+            "mb_invoke", general=self.general, value=value, k=k
+        )
+
+    # ------------------------------------------------------------------
+    # Message intake
+    # ------------------------------------------------------------------
+    def on_message(self, msg: object, sender: int) -> None:
+        """Log an arriving message; evaluate blocks if the anchor is known."""
+        now = self.host.local_now()
+        if isinstance(msg, MBInitMsg):
+            # Only the origin itself can init its own broadcast; the network
+            # authenticates senders, so an init claiming another origin is
+            # Byzantine noise and is discarded (Line W2: "received ... from p").
+            if sender != msg.origin:
+                return
+            kind = self.INIT
+        elif isinstance(msg, MBEchoMsg):
+            kind = self.ECHO
+        elif isinstance(msg, MBInitPrimeMsg):
+            kind = self.INIT_PRIME
+        elif isinstance(msg, MBEchoPrimeMsg):
+            kind = self.ECHO_PRIME
+        else:
+            raise TypeError(f"not a msgd-broadcast message: {msg!r}")
+        triplet: Triplet = (msg.origin, msg.value, msg.k)
+        self._known_triplets.add(triplet)
+        self.log.add((kind,) + triplet, sender, now)
+        if self.anchor is not None:
+            self.evaluate(triplet)
+
+    # ------------------------------------------------------------------
+    # Blocks W, X, Y, Z
+    # ------------------------------------------------------------------
+    def evaluate(self, triplet: Triplet) -> None:
+        """Re-run the blocks for one (p, m, k) triplet."""
+        if self.anchor is None:
+            return
+        now = self.host.local_now()
+        origin, value, k = triplet
+        p = self.params
+        phi = p.phi
+        anchor = self.anchor
+
+        init_key = (self.INIT,) + triplet
+        echo_key = (self.ECHO,) + triplet
+        initp_key = (self.INIT_PRIME,) + triplet
+        echop_key = (self.ECHO_PRIME,) + triplet
+
+        # Primitive instances are "implicitly associated with the agreement
+        # instance that invoked them" (paper Section 3): only messages that
+        # arrived within *this* execution -- i.e. at or after the anchor --
+        # count as evidence.  Stragglers of a previous execution of the same
+        # General predate the current anchor and are scoped out.
+        def fresh_count(key) -> int:
+            return self.log.count_distinct_in(key, anchor, now)
+
+        # Block W: tau_q <= tau_G + 2k Phi -- echo the origin's init.
+        if now <= anchor + 2 * k * phi:
+            if origin in self.log.distinct_senders_in(init_key, anchor, now):
+                self._send_once(self.ECHO, triplet, MBEchoMsg(*((self.general,) + triplet)))
+
+        # Block X: tau_q <= tau_G + (2k + 1) Phi.
+        if now <= anchor + (2 * k + 1) * phi:
+            echoes = fresh_count(echo_key)
+            if echoes >= p.weak_quorum:
+                self._send_once(
+                    self.INIT_PRIME, triplet, MBInitPrimeMsg(*((self.general,) + triplet))
+                )
+            if echoes >= p.strong_quorum:
+                self._accept(triplet, now)
+
+        # Block Y: tau_q <= tau_G + (2k + 2) Phi.
+        if now <= anchor + (2 * k + 2) * phi:
+            init_primes = fresh_count(initp_key)
+            if init_primes >= p.weak_quorum and origin not in self.broadcasters:
+                self.broadcasters[origin] = now
+                self.host.trace(
+                    "mb_broadcaster", general=self.general, origin=origin, k=k
+                )
+                if self.on_broadcaster is not None:
+                    self.on_broadcaster(origin)
+            if init_primes >= p.strong_quorum:
+                self._send_once(
+                    self.ECHO_PRIME, triplet, MBEchoPrimeMsg(*((self.general,) + triplet))
+                )
+
+        # Block Z: at any time.
+        echo_primes = fresh_count(echop_key)
+        if echo_primes >= p.weak_quorum:
+            self._send_once(
+                self.ECHO_PRIME, triplet, MBEchoPrimeMsg(*((self.general,) + triplet))
+            )
+        if echo_primes >= p.strong_quorum:
+            self._accept(triplet, now)
+
+    def _send_once(self, kind: str, triplet: Triplet, payload: object) -> None:
+        """Nodes send specific messages only once (Figure 3 header note)."""
+        if (kind, triplet) in self._sent:
+            return
+        self._sent.add((kind, triplet))
+        self.host.broadcast(payload)
+        self.host.trace(
+            f"{kind}_sent",
+            general=self.general,
+            origin=triplet[0],
+            value=triplet[1],
+            k=triplet[2],
+        )
+
+    def _accept(self, triplet: Triplet, now: float) -> None:
+        """Accept (p, m, k) -- only once per triplet (Line Z5 note)."""
+        if triplet in self.accepted:
+            return
+        self.accepted[triplet] = now
+        origin, value, k = triplet
+        self.host.trace(
+            "mb_accept", general=self.general, origin=origin, value=value, k=k
+        )
+        self.on_accept(origin, value, k, now)
+
+    # ------------------------------------------------------------------
+    # Cleanup, reset, corruption
+    # ------------------------------------------------------------------
+    def cleanup(self) -> None:
+        """Decay rule: drop messages older than ``(2f + 3) Phi``."""
+        now = self.host.local_now()
+        horizon = (2 * self.params.f + 3) * self.params.phi
+        self.log.prune_older_than(now - horizon)
+        self.log.prune_future(now)
+        # Stale derived state ages out on the same horizon.
+        self.broadcasters = {
+            node: t for node, t in self.broadcasters.items() if now - t <= horizon
+        }
+        self.accepted = {
+            trip: t
+            for trip, t in self.accepted.items()
+            if now - t <= horizon and t <= now
+        }
+        self._known_triplets = {
+            trip
+            for trip in self._known_triplets
+            if any(
+                self.log.count_distinct((kind,) + trip) > 0
+                for kind in (self.INIT, self.ECHO, self.INIT_PRIME, self.ECHO_PRIME)
+            )
+        } | set(self.accepted)
+
+    def reset(self) -> None:
+        """Full reset (3d after the agreement instance returns)."""
+        self.anchor = None
+        self.log.clear()
+        self.broadcasters.clear()
+        self.accepted.clear()
+        self._sent.clear()
+        self._known_triplets.clear()
+        self.host.trace("mb_reset", general=self.general)
+
+    def corrupt(self, rng: RandomSource, value_pool: list[Value]) -> None:
+        """Transient fault: scramble anchor, logs, and derived sets."""
+        now = self.host.local_now()
+        p = self.params
+        span = p.delta_stb
+        if rng.chance(0.5):
+            self.anchor = now + rng.uniform(-span, span)
+        for node in range(p.n):
+            if rng.chance(0.3):
+                self.broadcasters[node] = now + rng.uniform(-span, 0)
+        for value in value_pool:
+            for k in range(1, p.f + 2):
+                triplet: Triplet = (rng.randint(0, p.n - 1), value, k)
+                self._known_triplets.add(triplet)
+                if rng.chance(0.3):
+                    self.accepted[triplet] = now + rng.uniform(-span, 0)
+                for kind in (self.INIT, self.ECHO, self.INIT_PRIME, self.ECHO_PRIME):
+                    for sender in range(p.n):
+                        if rng.chance(0.15):
+                            self.log.corrupt_insert(
+                                (kind,) + triplet, sender, now + rng.uniform(-span, span)
+                            )
+        self.host.trace("mb_corrupted", general=self.general)
+
+
+__all__ = ["MsgdBroadcast"]

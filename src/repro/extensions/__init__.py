@@ -1,0 +1,30 @@
+"""Extensions the paper points at but does not fully develop.
+
+* :mod:`repro.extensions.pulse_sync` -- synchronized pulses built *atop*
+  ss-Byz-Agree.  The paper (Section 1) states that "synchronized pulses can
+  actually be produced more efficiently atop the protocol in the current
+  paper" (citing the then-unpublished [6]); this module reconstructs that
+  idea: recurrent agreements whose decisions fire pulses, inheriting the
+  protocol's 3d decision spread as the pulse skew bound.
+* :mod:`repro.extensions.concurrent` -- concurrent agreement invocations by
+  one General, differentiated by an index (the paper's footnote 9: "One can
+  expand the protocol to a number of concurrent invocations by using an
+  index").
+* :mod:`repro.extensions.state_machine` -- a replicated state machine built
+  on the indexed invocations: the classic downstream application the
+  Byzantine Generals problem motivates.
+"""
+
+from repro.extensions.concurrent import ConcurrentGeneral, indexed_general
+from repro.extensions.pulse_sync import PulseConfig, PulseNode, PulseSyncCluster
+from repro.extensions.state_machine import Replica, ReplicatedStateMachine
+
+__all__ = [
+    "ConcurrentGeneral",
+    "PulseConfig",
+    "PulseNode",
+    "PulseSyncCluster",
+    "Replica",
+    "ReplicatedStateMachine",
+    "indexed_general",
+]

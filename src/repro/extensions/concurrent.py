@@ -1,0 +1,111 @@
+"""Concurrent agreement invocations via indexing (paper footnote 9).
+
+The base protocol runs one agreement instance per General, paced by
+``Delta_0`` / ``Delta_v``.  The paper notes both limitations "can be
+circumvented by adding counters to concurrent agreement initiations": each
+invocation carries an index, and every piece of per-instance state --
+Initiator-Accept bookkeeping, msgd-broadcast logs, round deadlines -- is
+keyed by ``(G, index)`` instead of ``G``.
+
+Implementation: instance keys are already opaque in
+:class:`~repro.core.agreement.AgreementInstance` (the authenticated-sender
+checks use ``general_node_id``), so an indexed instance is simply keyed by
+the tuple ``(general_node_id, index)``.  This module provides the small API
+for initiating and reading indexed agreements.
+
+Pacing: the per-*instance* pacing rules still apply (a correct General does
+not reuse an index within ``Delta_v``); *across* indexes there is no pacing
+-- that is the whole point.  Agreement/Validity per instance follow from the
+base protocol unchanged because instances share nothing but the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.agreement import Decision, ProtocolNode
+from repro.core.messages import InitiatorMsg, Value
+
+IndexedKey = tuple[int, int]  # (general node id, index)
+
+
+def indexed_general(general: int, index: int) -> IndexedKey:
+    """The instance key for invocation ``index`` of ``general``."""
+    return (general, index)
+
+
+class ConcurrentGeneral:
+    """Drives multiple concurrent agreements from one (correct) General.
+
+    Usage::
+
+        cg = ConcurrentGeneral(cluster.protocol_node(0))
+        cg.propose("cmd-a")         # index 0
+        cg.propose("cmd-b")         # index 1, immediately -- no Delta_0 wait
+        cluster.run_for(params.delta_agr + 10 * params.d)
+        cg.decisions(cluster)       # {0: ..., 1: ...}
+    """
+
+    def __init__(self, node: ProtocolNode) -> None:
+        self.node = node
+        self.next_index = 0
+        self._index_last_used: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Initiation
+    # ------------------------------------------------------------------
+    def propose(self, value: Value, index: Optional[int] = None) -> int:
+        """Initiate an indexed agreement; returns the index used.
+
+        A fresh index is allocated by default, which trivially satisfies the
+        per-instance pacing rules (an index is never reused).
+        """
+        if index is None:
+            index = self.next_index
+            self.next_index += 1
+        now = self.node.local_now()
+        last = self._index_last_used.get(index)
+        if last is not None and now - last < self.node.params.delta_v:
+            raise ValueError(
+                f"index {index} reused within Delta_v -- allocate a fresh one"
+            )
+        self._index_last_used[index] = now
+        key = indexed_general(self.node.node_id, index)
+        # The General clears its own prior messages for this instance.
+        self.node.instance(key).ia.log.clear()
+        self.node.trace("propose_indexed", value=value, index=index)
+        self.node.broadcast(InitiatorMsg(key, value))
+        return index
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def decisions_at(self, node: ProtocolNode) -> dict[int, Decision]:
+        """Latest decision per index as observed by one node."""
+        out: dict[int, Decision] = {}
+        for dec in node.decisions:
+            general = dec.general
+            if (
+                isinstance(general, tuple)
+                and general[0] == self.node.node_id
+            ):
+                index = general[1]
+                held = out.get(index)
+                if held is None or dec.returned_real > held.returned_real:
+                    out[index] = dec
+        return out
+
+    def decided_values(self, nodes: Iterable[ProtocolNode]) -> dict[int, set]:
+        """Index -> set of decided values across the given nodes.
+
+        Agreement per index means every set has size one.
+        """
+        out: dict[int, set] = {}
+        for node in nodes:
+            for index, dec in self.decisions_at(node).items():
+                if dec.decided:
+                    out.setdefault(index, set()).add(dec.value)
+        return out
+
+
+__all__ = ["ConcurrentGeneral", "IndexedKey", "indexed_general"]

@@ -1,0 +1,126 @@
+"""Replicated state machine on top of ss-Byz-Agree.
+
+The downstream-user API the protocol's introduction motivates: a primary
+disseminates an ordered stream of commands; replicas apply exactly the same
+sequence despite Byzantine members and (after transient faults) arbitrary
+starting states.
+
+Ordering: commands are sequenced by the *index* of the concurrent-invocation
+extension (paper footnote 9), so the primary needs no ``Delta_0`` pacing
+between commands; replicas buffer out-of-order decisions and apply in index
+order.  Gaps heal automatically when the missing index decides (the paper's
+Agreement property guarantees it eventually does at every correct node if it
+does anywhere).
+
+This is an *extension*, not part of the paper: it demonstrates that the
+paper's primitive composes into the classic SMR abstraction with no extra
+machinery beyond indexing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.agreement import Decision, ProtocolNode
+from repro.core.messages import Value
+from repro.extensions.concurrent import ConcurrentGeneral
+
+ApplyCallback = Callable[[int, Value], None]
+
+
+class Replica:
+    """Applies decided commands in index order."""
+
+    def __init__(
+        self,
+        node: ProtocolNode,
+        primary: int,
+        on_apply: Optional[ApplyCallback] = None,
+    ) -> None:
+        self.node = node
+        self.primary = primary
+        self.on_apply = on_apply
+        self.applied: list[tuple[int, Value]] = []
+        self._pending: dict[int, Value] = {}
+        self._next_index = 0
+        self._previous_callback = node.on_decision
+        node.on_decision = self._on_decision
+
+    # ------------------------------------------------------------------
+    # Decision intake
+    # ------------------------------------------------------------------
+    def _on_decision(self, decision: Decision) -> None:
+        if self._previous_callback is not None:
+            self._previous_callback(decision)
+        general = decision.general
+        if not (
+            decision.decided
+            and isinstance(general, tuple)
+            and general[0] == self.primary
+        ):
+            return
+        index = general[1]
+        if index < self._next_index or index in self._pending:
+            return  # duplicate (e.g. a re-decision after recovery)
+        self._pending[index] = decision.value
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._next_index in self._pending:
+            value = self._pending.pop(self._next_index)
+            self.applied.append((self._next_index, value))
+            if self.on_apply is not None:
+                self.on_apply(self._next_index, value)
+            self._next_index += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def log(self) -> list[Value]:
+        """Applied command values, in order."""
+        return [value for _index, value in self.applied]
+
+    @property
+    def gap(self) -> Optional[int]:
+        """Lowest index decided-but-not-applied is waiting on, if any."""
+        if not self._pending:
+            return None
+        return self._next_index
+
+
+class ReplicatedStateMachine:
+    """Primary-side driver plus replica wiring for a whole cluster."""
+
+    def __init__(self, cluster, primary: int = 0) -> None:
+        self.cluster = cluster
+        self.primary = primary
+        self._general = ConcurrentGeneral(cluster.protocol_node(primary))
+        self.replicas: dict[int, Replica] = {
+            node_id: Replica(cluster.protocol_node(node_id), primary)
+            for node_id in cluster.correct_ids
+        }
+
+    def submit(self, command: Value) -> int:
+        """Submit one command from the primary; returns its log index."""
+        return self._general.propose(command)
+
+    def submit_batch(self, commands: list[Value]) -> list[int]:
+        """Submit several commands back-to-back (no pacing needed)."""
+        return [self.submit(command) for command in commands]
+
+    # ------------------------------------------------------------------
+    # Verification helpers
+    # ------------------------------------------------------------------
+    def logs(self) -> dict[int, list[Value]]:
+        """Per-replica applied logs."""
+        return {node_id: replica.log for node_id, replica in self.replicas.items()}
+
+    def logs_consistent(self) -> bool:
+        """True iff every replica's log is a prefix of the longest log."""
+        logs = list(self.logs().values())
+        longest = max(logs, key=len)
+        return all(log == longest[: len(log)] for log in logs)
+
+
+__all__ = ["ApplyCallback", "Replica", "ReplicatedStateMachine"]

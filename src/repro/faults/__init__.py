@@ -1,0 +1,43 @@
+"""Fault models: permanent Byzantine behaviour and transient corruption.
+
+* :mod:`repro.faults.byzantine` -- Byzantine node strategies, from silent
+  crashes to equivocating Generals and two-faced quorum-splitting
+  participants.  A Byzantine node is *not* a modified protocol node: it is a
+  raw :class:`~repro.node.base.Node` that can emit any protocol message to
+  any subset at any time, which is exactly the adversary's power in the
+  model (the network still authenticates its identity).
+* :mod:`repro.faults.transient` -- the transient-fault injector: scrambles
+  node protocol state, clock readings, and puts forged messages in flight,
+  modelling the paper's "each node may be at an arbitrary state" starting
+  condition.
+"""
+
+from repro.faults.byzantine import (
+    ByzantineNode,
+    CrashStrategy,
+    EquivocatingGeneralStrategy,
+    MirrorParticipantStrategy,
+    NoiseStrategy,
+    ReplayStrategy,
+    ScriptedStrategy,
+    SelectiveGeneralStrategy,
+    SplitWorldStrategy,
+    StaggeredGeneralStrategy,
+    TwoFacedParticipantStrategy,
+)
+from repro.faults.transient import TransientFaultInjector
+
+__all__ = [
+    "ByzantineNode",
+    "CrashStrategy",
+    "EquivocatingGeneralStrategy",
+    "MirrorParticipantStrategy",
+    "NoiseStrategy",
+    "ReplayStrategy",
+    "ScriptedStrategy",
+    "SelectiveGeneralStrategy",
+    "SplitWorldStrategy",
+    "StaggeredGeneralStrategy",
+    "TransientFaultInjector",
+    "TwoFacedParticipantStrategy",
+]

@@ -1,0 +1,36 @@
+"""Experiment harness.
+
+* :mod:`repro.harness.scenario` -- declarative scenario construction: a
+  :class:`~repro.harness.scenario.Cluster` wires the simulator, network,
+  clocks, correct protocol nodes and Byzantine nodes together from a
+  :class:`~repro.harness.scenario.ScenarioConfig`.
+* :mod:`repro.harness.metrics` -- measurements over finished runs (decision
+  spreads, anchor skews, message counts, latency).
+* :mod:`repro.harness.properties` -- every theorem of the paper as an
+  executable checker producing a :class:`~repro.harness.properties.
+  PropertyReport`.
+* :mod:`repro.harness.stats` -- aggregation helpers for sweeps.
+* :mod:`repro.harness.experiments` -- the E1..E10 experiment drivers that
+  the benchmark suite and EXPERIMENTS.md are generated from.
+"""
+
+from repro.harness.metrics import (
+    anchor_spread_real,
+    decision_latencies,
+    decision_spread_real,
+    message_stats,
+)
+from repro.harness.properties import PropertyReport
+from repro.harness.scenario import Cluster, ScenarioConfig
+from repro.harness.stats import summarize
+
+__all__ = [
+    "Cluster",
+    "PropertyReport",
+    "ScenarioConfig",
+    "anchor_spread_real",
+    "decision_latencies",
+    "decision_spread_real",
+    "message_stats",
+    "summarize",
+]

@@ -1,0 +1,512 @@
+"""Experiment drivers E1..E10 (see DESIGN.md section 4).
+
+Each driver runs a family of scenarios and returns a list of row dicts --
+the "table" the paper's corresponding theorem would fill.  The benchmark
+suite (``benchmarks/bench_e*.py``) times and prints them; EXPERIMENTS.md
+records paper-bound vs. measured.
+
+Every driver takes ``seeds`` so callers can trade confidence for runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.eig import EigCluster
+from repro.baselines.tps87 import Tps87Cluster
+from repro.core.params import BOTTOM, ProtocolParams, max_faults
+from repro.faults.byzantine import (
+    CrashStrategy,
+    EquivocatingGeneralStrategy,
+    MirrorParticipantStrategy,
+    SelectiveGeneralStrategy,
+    StaggeredGeneralStrategy,
+    TwoFacedParticipantStrategy,
+)
+from repro.faults.transient import TransientFaultInjector
+from repro.harness import metrics, properties
+from repro.harness.scenario import Cluster, ScenarioConfig
+from repro.harness.stats import summarize
+from repro.net.delivery import UniformDelay
+
+DEFAULT_RHO = 1e-4
+
+
+def _params(n: int, f: Optional[int] = None, delta: float = 1.0) -> ProtocolParams:
+    return ProtocolParams(n=n, f=f if f is not None else max_faults(n), delta=delta, rho=DEFAULT_RHO)
+
+
+# ---------------------------------------------------------------------------
+# E1 -- Validity + Timeliness-2 with a correct General
+# ---------------------------------------------------------------------------
+def run_e1_validity(
+    ns: Sequence[int] = (4, 7, 10, 13), seeds: Sequence[int] = range(10)
+) -> list[dict]:
+    """Correct General: everyone decides its value within the paper bounds."""
+    rows = []
+    for n in ns:
+        params = _params(n)
+        ok_validity = ok_timeliness = 0
+        latencies: list[float] = []
+        spreads: list[float] = []
+        for seed in seeds:
+            cluster = Cluster(ScenarioConfig(params=params, seed=seed))
+            t0 = cluster.sim.now
+            assert cluster.propose(general=0, value="m1")
+            cluster.run_for(params.delta_agr + 10 * params.d)
+            if properties.validity(cluster, 0, "m1").holds:
+                ok_validity += 1
+            if properties.timeliness_validity(cluster, 0, t0).holds:
+                ok_timeliness += 1
+            decs = list(cluster.latest_decision_per_node(0).values())
+            latencies.extend(metrics.decision_latencies(decs, t0))
+            spread = metrics.decision_spread_real(decs)
+            if spread is not None:
+                spreads.append(spread)
+        lat = summarize(latencies)
+        rows.append(
+            {
+                "n": n,
+                "f": params.f,
+                "runs": len(list(seeds)),
+                "validity_ok": ok_validity,
+                "timeliness_ok": ok_timeliness,
+                "latency_mean_d": lat.mean / params.d if lat else None,
+                "latency_max_d": lat.maximum / params.d if lat else None,
+                "latency_bound_d": 4.0,  # paper: rt(tau_q) <= t0 + 4d
+                "spread_max_d": max(spreads) / params.d if spreads else None,
+                "spread_bound_d": 2.0,  # paper: 2d under validity
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E2 -- Agreement under a Byzantine General
+# ---------------------------------------------------------------------------
+def run_e2_byzantine_general(
+    n: int = 7, seeds: Sequence[int] = range(10)
+) -> list[dict]:
+    """Adversarial General strategies: all-or-nothing, single value, always."""
+    params = _params(n)
+    others = tuple(range(1, n))
+    half = len(others) // 2
+
+    def attacks(seed_rng_unused):
+        return {
+            "equivocate": {
+                0: EquivocatingGeneralStrategy(
+                    "A", "B", others[:half], others[half:]
+                )
+            },
+            "equivocate+twofaced": {
+                0: EquivocatingGeneralStrategy("A", "B", others[:half], others[half:]),
+                n - 1: TwoFacedParticipantStrategy(others[:half]),
+            },
+            "staggered_2d": {0: StaggeredGeneralStrategy("S", spread_local=2 * params.d)},
+            "staggered_8d": {0: StaggeredGeneralStrategy("S", spread_local=8 * params.d)},
+            "staggered_3phi": {
+                0: StaggeredGeneralStrategy("S", spread_local=3 * params.phi),
+                n - 1: MirrorParticipantStrategy(),
+            },
+            "selective_quorum": {0: SelectiveGeneralStrategy("X", others[: n - 2])},
+            "selective_subquorum": {0: SelectiveGeneralStrategy("X", others[:2])},
+        }
+
+    rows = []
+    for name, byz in attacks(None).items():
+        agree_ok = 0
+        split = 0
+        decided_runs = 0
+        for seed in seeds:
+            cluster = Cluster(ScenarioConfig(params=params, seed=seed, byzantine=byz))
+            cluster.run_for(3 * params.delta_agr)
+            rep = properties.agreement(cluster, 0)
+            if rep.holds:
+                agree_ok += 1
+            else:
+                split += 1
+            latest = cluster.latest_decision_per_node(0)
+            if any(dec.decided for dec in latest.values()):
+                decided_runs += 1
+        rows.append(
+            {
+                "attack": name,
+                "runs": len(list(seeds)),
+                "agreement_ok": agree_ok,
+                "splits": split,
+                "runs_with_decision": decided_runs,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E3 -- Self-stabilization from arbitrary state
+# ---------------------------------------------------------------------------
+def run_e3_stabilization(
+    n: int = 7,
+    seeds: Sequence[int] = range(10),
+    garbage_messages: int = 300,
+) -> list[dict]:
+    """Havoc everything, wait Delta_stb, then demand a clean agreement."""
+    params = _params(n)
+    rows = []
+    recovered = 0
+    post_validity = 0
+    post_timeliness = 0
+    for seed in seeds:
+        cluster = Cluster(ScenarioConfig(params=params, seed=seed))
+        injector = TransientFaultInjector(
+            params,
+            cluster.rng.split("injector"),
+            value_pool=["A", "B", "C"],
+            generals=[0, 1],
+        )
+        cluster.run_for(5.0 * params.d)
+        injector.havoc(cluster.correct_nodes(), cluster.net, garbage_messages)
+        cluster.mark_coherent()
+        cluster.run_for(params.delta_stb)
+        since = cluster.sim.now
+        t0 = cluster.sim.now
+        proposed = cluster.propose(general=0, value="recovered")
+        cluster.run_for(params.delta_agr + 10 * params.d)
+        v_ok = properties.validity(cluster, 0, "recovered", since_real=since).holds
+        t_ok = properties.timeliness_validity(cluster, 0, t0, since_real=since).holds
+        if proposed:
+            recovered += 1
+        if v_ok:
+            post_validity += 1
+        if t_ok:
+            post_timeliness += 1
+    rows.append(
+        {
+            "n": n,
+            "f": params.f,
+            "runs": len(list(seeds)),
+            "garbage_messages": garbage_messages,
+            "proposal_unblocked": recovered,
+            "post_stb_validity": post_validity,
+            "post_stb_timeliness": post_timeliness,
+            "stabilization_bound_d": params.delta_stb / params.d,
+        }
+    )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E4 -- Early stopping: decision time scales with actual faults f'
+# ---------------------------------------------------------------------------
+def run_e4_early_stopping(
+    n: int = 13, seeds: Sequence[int] = range(10)
+) -> list[dict]:
+    """Crash-faulty subsets of size f' = 0..f; latency tracks f', not f."""
+    params = _params(n)
+    rows = []
+    for f_actual in range(params.f + 1):
+        latencies: list[float] = []
+        validity_ok = 0
+        for seed in seeds:
+            byz = {n - 1 - i: CrashStrategy() for i in range(f_actual)}
+            cluster = Cluster(ScenarioConfig(params=params, seed=seed, byzantine=byz))
+            t0 = cluster.sim.now
+            assert cluster.propose(general=0, value="v")
+            cluster.run_for(params.delta_agr + 10 * params.d)
+            if properties.validity(cluster, 0, "v").holds:
+                validity_ok += 1
+            decs = list(cluster.latest_decision_per_node(0).values())
+            latencies.extend(metrics.decision_latencies(decs, t0))
+        lat = summarize(latencies)
+        rows.append(
+            {
+                "n": n,
+                "f": params.f,
+                "f_actual": f_actual,
+                "runs": len(list(seeds)),
+                "validity_ok": validity_ok,
+                "latency_mean_d": lat.mean / params.d if lat else None,
+                "latency_max_d": lat.maximum / params.d if lat else None,
+                "worstcase_bound_d": params.delta_agr / params.d,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E5 -- Message-driven vs time-driven rounds
+# ---------------------------------------------------------------------------
+def run_e5_msg_driven(
+    n: int = 7,
+    delay_fracs: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 1.0),
+    seeds: Sequence[int] = range(5),
+) -> list[dict]:
+    """Latency of ss-Byz-Agree vs TPS'87 as actual delay shrinks below delta.
+
+    The model bound ``delta`` (hence ``d``, ``Phi``) is fixed; the *actual*
+    delays sweep downward.  The paper's claim: ss-Byz-Agree finishes at
+    actual-network speed, the lock-step baseline at ``Phi`` granularity.
+    """
+    params = _params(n)
+    rows = []
+    for frac in delay_fracs:
+        actual_max = frac * params.delta
+        policy = UniformDelay(0.1 * actual_max, actual_max)
+        ss_lat: list[float] = []
+        tps_lat: list[float] = []
+        for seed in seeds:
+            cluster = Cluster(ScenarioConfig(params=params, seed=seed, policy=policy))
+            t0 = cluster.sim.now
+            assert cluster.propose(general=0, value="v")
+            cluster.run_for(params.delta_agr + 10 * params.d)
+            decs = list(cluster.latest_decision_per_node(0).values())
+            ss_lat.extend(metrics.decision_latencies(decs, t0))
+
+            tps = Tps87Cluster(params, seed=seed, policy=UniformDelay(0.1 * actual_max, actual_max))
+            tps.initiate("v")
+            tps_decs = tps.run_to_completion()
+            tps_lat.extend(d.returned_real for d in tps_decs if d.decided)
+        ss = summarize(ss_lat)
+        tp = summarize(tps_lat)
+        rows.append(
+            {
+                "actual_delay_frac": frac,
+                "ss_latency_mean": ss.mean if ss else None,
+                "tps_latency_mean": tp.mean if tp else None,
+                "speedup": (tp.mean / ss.mean) if ss and tp and ss.mean > 0 else None,
+                "phi": params.phi,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E6 -- Resilience boundary: n > 3f
+# ---------------------------------------------------------------------------
+def run_e6_resilience(seeds: Sequence[int] = range(10)) -> list[dict]:
+    """The split-world attack at n = 7: provably harmless with f' = 2
+    Byzantine nodes (n > 3f'), and a working partition with f' = 3
+    (n <= 3f') -- the resilience bound is tight."""
+    from repro.faults.byzantine import SplitWorldStrategy
+
+    rows = []
+    n = 7
+    for byz_count, camp_a, camp_b, label in (
+        (2, (1, 2, 3), (4, 5), "n>3f (within bound)"),
+        (3, (1, 2), (3, 4), "n<=3f' (beyond bound)"),
+    ):
+        params = ProtocolParams(n=n, f=2, delta=1.0, rho=DEFAULT_RHO)
+        agree_ok = 0
+        splits = 0
+        for seed in seeds:
+            general = 0
+            helpers = [n - 1 - i for i in range(byz_count - 1)]
+            byz: dict = {
+                general: EquivocatingGeneralStrategy("A", "B", camp_a, camp_b)
+            }
+            for helper in helpers:
+                byz[helper] = SplitWorldStrategy(general, "A", "B", camp_a, camp_b)
+            cluster = Cluster(
+                ScenarioConfig(
+                    params=params,
+                    seed=seed,
+                    byzantine=byz,
+                    allow_extra_byzantine=byz_count > params.f,
+                )
+            )
+            cluster.run_for(3 * params.delta_agr)
+            if properties.agreement(cluster, 0).holds:
+                agree_ok += 1
+            else:
+                splits += 1
+        rows.append(
+            {
+                "condition": label,
+                "n": n,
+                "byzantine": byz_count,
+                "runs": len(list(seeds)),
+                "agreement_ok": agree_ok,
+                "splits": splits,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E7 -- Initiator-Accept bounds
+# ---------------------------------------------------------------------------
+def run_e7_initiator_accept(
+    ns: Sequence[int] = (4, 7, 10), seeds: Sequence[int] = range(10)
+) -> list[dict]:
+    """IA-1A/1B/1C/1D with a correct General; IA-3A under a staggered one."""
+    rows = []
+    for n in ns:
+        params = _params(n)
+        ia_ok = 0
+        accept_spreads: list[float] = []
+        anchor_spreads: list[float] = []
+        for seed in seeds:
+            cluster = Cluster(ScenarioConfig(params=params, seed=seed))
+            t0 = cluster.sim.now
+            assert cluster.propose(general=0, value="m")
+            cluster.run_for(params.delta_agr)
+            rep = properties.ia_correctness(cluster, 0, "m", t0)
+            if rep.holds:
+                ia_ok += 1
+            if rep.details["accept_spread"] is not None:
+                accept_spreads.append(rep.details["accept_spread"])
+            if rep.details["anchor_spread"] is not None:
+                anchor_spreads.append(rep.details["anchor_spread"])
+        rows.append(
+            {
+                "n": n,
+                "f": params.f,
+                "runs": len(list(seeds)),
+                "ia1_ok": ia_ok,
+                "accept_spread_max_d": max(accept_spreads) / params.d
+                if accept_spreads
+                else None,
+                "accept_spread_bound_d": 2.0,
+                "anchor_spread_max_d": max(anchor_spreads) / params.d
+                if anchor_spreads
+                else None,
+                "anchor_spread_bound_d": 1.0,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E8 -- Separation / Uniqueness across recurrent agreements
+# ---------------------------------------------------------------------------
+def run_e8_separation(
+    n: int = 7, rounds: int = 3, seeds: Sequence[int] = range(5)
+) -> list[dict]:
+    """Recurrent initiations (distinct and repeated values): IA-4 bounds."""
+    params = _params(n)
+    sep_ok = 0
+    all_ok = 0
+    for seed in seeds:
+        cluster = Cluster(ScenarioConfig(params=params, seed=seed))
+        values = [f"v{i}" for i in range(rounds)] + ["v0"]  # repeat v0 at the end
+        for value in values:
+            # Respect the General's pacing: wait until it may propose again.
+            guard = 0
+            while not cluster.propose(general=0, value=value):
+                cluster.run_for(params.delta_0)
+                guard += 1
+                if guard > 200:
+                    raise RuntimeError("General never allowed to propose")
+            cluster.run_for(params.delta_agr + 10 * params.d)
+        rep = properties.separation(cluster, 0)
+        if rep.holds:
+            sep_ok += 1
+        if rep.holds and properties.agreement(cluster, 0).holds:
+            all_ok += 1
+    return [
+        {
+            "n": n,
+            "rounds": rounds + 1,
+            "runs": len(list(seeds)),
+            "separation_ok": sep_ok,
+            "separation_and_agreement_ok": all_ok,
+            "distinct_bound_d": 4.0,
+            "same_bounds_d": (6.0, 2 * params.delta_rmv / params.d - 3.0),
+        }
+    ]
+
+
+# ---------------------------------------------------------------------------
+# E9 -- Message complexity and scaling
+# ---------------------------------------------------------------------------
+def run_e9_scaling(
+    ns: Sequence[int] = (4, 7, 10, 13, 16, 19, 22, 25),
+    seeds: Sequence[int] = range(3),
+) -> list[dict]:
+    """Messages per agreement vs n (expected O(n^2) per phase shape)."""
+    rows = []
+    for n in ns:
+        params = _params(n)
+        msg_counts: list[float] = []
+        latencies: list[float] = []
+        for seed in seeds:
+            cluster = Cluster(ScenarioConfig(params=params, seed=seed))
+            t0 = cluster.sim.now
+            base = cluster.net.sent_count
+            assert cluster.propose(general=0, value="v")
+            cluster.run_for(params.delta_agr + 10 * params.d)
+            msg_counts.append(cluster.net.sent_count - base)
+            decs = list(cluster.latest_decision_per_node(0).values())
+            latencies.extend(metrics.decision_latencies(decs, t0))
+        msgs = summarize(msg_counts)
+        lat = summarize(latencies)
+        rows.append(
+            {
+                "n": n,
+                "f": params.f,
+                "messages_mean": msgs.mean if msgs else None,
+                "messages_per_n2": msgs.mean / (n * n) if msgs else None,
+                "latency_mean_d": lat.mean / params.d if lat else None,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E10 -- Classic protocol fails from arbitrary state; ss-Byz-Agree recovers
+# ---------------------------------------------------------------------------
+def run_e10_classic_fails(
+    n: int = 7, seeds: Sequence[int] = range(10)
+) -> list[dict]:
+    """Same transient-corruption idea on EIG vs ss-Byz-Agree."""
+    params = _params(n)
+    eig_agree_wrong = eig_split = eig_clean = 0
+    ss_recovered = 0
+    for seed in seeds:
+        eig = EigCluster(params, seed=seed)
+        eig.initiate("V")
+        eig.corrupt_mid_run(["A", "B"], at_round=params.f)
+        decisions = eig.run_to_completion()
+        values = set(decisions.values())
+        if len(values) > 1:
+            eig_split += 1
+        elif values == {"V"}:
+            eig_clean += 1
+        else:
+            eig_agree_wrong += 1
+
+        cluster = Cluster(ScenarioConfig(params=params, seed=seed))
+        injector = TransientFaultInjector(
+            params, cluster.rng.split("inj"), value_pool=["A", "B", "V"], generals=[0]
+        )
+        cluster.run_for(5.0 * params.d)
+        injector.havoc(cluster.correct_nodes(), cluster.net, garbage_messages=200)
+        cluster.run_for(params.delta_stb)
+        since = cluster.sim.now
+        if cluster.propose(general=0, value="V"):
+            cluster.run_for(params.delta_agr + 10 * params.d)
+            if properties.validity(cluster, 0, "V", since_real=since).holds:
+                ss_recovered += 1
+    return [
+        {
+            "n": n,
+            "runs": len(list(seeds)),
+            "eig_agreed_on_garbage": eig_agree_wrong,
+            "eig_disagreement": eig_split,
+            "eig_unaffected": eig_clean,
+            "ss_byz_agree_recovered": ss_recovered,
+        }
+    ]
+
+
+__all__ = [
+    "run_e1_validity",
+    "run_e2_byzantine_general",
+    "run_e3_stabilization",
+    "run_e4_early_stopping",
+    "run_e5_msg_driven",
+    "run_e6_resilience",
+    "run_e7_initiator_accept",
+    "run_e8_separation",
+    "run_e9_scaling",
+    "run_e10_classic_fails",
+]

@@ -1,0 +1,133 @@
+"""Measurements over finished runs.
+
+All spreads/skews are computed on the *real-time* axis (the proofs' ``rt``),
+using each node's clock to translate recorded local anchors where needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.agreement import Decision
+from repro.core.params import BOTTOM
+from repro.harness.scenario import Cluster
+
+
+def decided_only(decisions: Iterable[Decision]) -> list[Decision]:
+    """Keep only real decisions (drop BOTTOM returns)."""
+    return [dec for dec in decisions if dec.decided]
+
+
+def decision_spread_real(decisions: Sequence[Decision]) -> Optional[float]:
+    """Max pairwise |rt(tau_q) - rt(tau_q')| over the decisions, or None."""
+    times = [dec.returned_real for dec in decisions]
+    if len(times) < 2:
+        return None
+    return max(times) - min(times)
+
+
+def anchor_spread_real(decisions: Sequence[Decision]) -> Optional[float]:
+    """Max pairwise |rt(tau_G_q) - rt(tau_G_q')| over the decisions, or None."""
+    anchors = [dec.tau_g_real for dec in decisions if dec.tau_g_real is not None]
+    if len(anchors) < 2:
+        return None
+    return max(anchors) - min(anchors)
+
+
+def decision_latencies(
+    decisions: Sequence[Decision], initiated_real: float
+) -> list[float]:
+    """Per-node real-time latency from initiation to return."""
+    return [dec.returned_real - initiated_real for dec in decisions]
+
+
+def decision_values(decisions: Sequence[Decision]) -> set:
+    """The set of non-BOTTOM values returned."""
+    return {dec.value for dec in decisions if dec.value is not BOTTOM}
+
+
+def message_stats(cluster: Cluster) -> dict[str, int]:
+    """Network-level message accounting for the run so far."""
+    return {
+        "sent": cluster.net.sent_count,
+        "delivered": cluster.net.delivered_count,
+        "dropped": cluster.net.dropped_count,
+    }
+
+
+def i_accept_events(cluster: Cluster, general: int, since_real: float = 0.0):
+    """All correct-node I-accept trace events for one General.
+
+    Each returned entry is ``(node_id, real_time, value, tau_g_real)``.
+    """
+    out = []
+    correct = set(cluster.correct_ids)
+    for ev in cluster.tracer.of_kind("i_accept"):
+        if ev.node not in correct or ev.real_time < since_real:
+            continue
+        if ev.detail.get("general") != general:
+            continue
+        node = cluster.protocol_node(ev.node)
+        tau_g_local = ev.detail["tau_g_local"]
+        out.append(
+            (
+                ev.node,
+                ev.real_time,
+                ev.detail["value"],
+                node.clock.real_at_local(tau_g_local),
+            )
+        )
+    return out
+
+
+def mb_accept_events(cluster: Cluster, general: int, since_real: float = 0.0):
+    """All correct-node msgd-broadcast accepts for one General.
+
+    Each returned entry is ``(node_id, real_time, origin, value, k)``.
+    """
+    out = []
+    correct = set(cluster.correct_ids)
+    for ev in cluster.tracer.of_kind("mb_accept"):
+        if ev.node not in correct or ev.real_time < since_real:
+            continue
+        if ev.detail.get("general") != general:
+            continue
+        out.append(
+            (
+                ev.node,
+                ev.real_time,
+                ev.detail["origin"],
+                ev.detail["value"],
+                ev.detail["k"],
+            )
+        )
+    return out
+
+
+def mb_invoke_events(cluster: Cluster, general: int, since_real: float = 0.0):
+    """All correct-node msgd-broadcast invocations for one General.
+
+    Each returned entry is ``(node_id, real_time, value, k)``.
+    """
+    out = []
+    correct = set(cluster.correct_ids)
+    for ev in cluster.tracer.of_kind("mb_invoke"):
+        if ev.node not in correct or ev.real_time < since_real:
+            continue
+        if ev.detail.get("general") != general:
+            continue
+        out.append((ev.node, ev.real_time, ev.detail["value"], ev.detail["k"]))
+    return out
+
+
+__all__ = [
+    "anchor_spread_real",
+    "decided_only",
+    "decision_latencies",
+    "decision_spread_real",
+    "decision_values",
+    "i_accept_events",
+    "mb_accept_events",
+    "mb_invoke_events",
+    "message_stats",
+]

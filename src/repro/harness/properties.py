@@ -1,0 +1,465 @@
+"""Every theorem of the paper as an executable checker.
+
+Each checker inspects a finished run (the cluster's trace, decisions and
+clocks) and returns a :class:`PropertyReport` saying whether the claimed
+property held, with the measured quantities that witnessed it.  The bound
+constants are taken verbatim from the paper:
+
+=====================  =====================================================
+Checker                Paper property
+=====================  =====================================================
+``agreement``          Agreement (Theorem 3)
+``validity``           Validity (Theorem 3)
+``termination``        Termination + Timeliness-3
+``timeliness_agreement``  Timeliness-1 (a)-(d)
+``timeliness_validity``   Timeliness-2
+``separation``         Timeliness-4 / IA-4 (Uniqueness)
+``ia_correctness``     IA-1 [1A]-[1D]
+``ia_unforgeability``  IA-2
+``ia_relay``           IA-3 [3A]
+``tps_correctness``    TPS-1
+``tps_unforgeability`` TPS-2
+``tps_relay``          TPS-3
+``tps_detection``      TPS-4 (second half)
+=====================  =====================================================
+
+A small numerical slack (``EPS`` times d) absorbs float arithmetic; all
+bounds are otherwise exactly the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Any, Optional
+
+from repro.core.params import BOTTOM
+from repro.harness import metrics
+from repro.harness.scenario import Cluster
+
+EPS = 1e-6  # multiplied by d and added to every bound
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Outcome of checking one property on one run."""
+
+    name: str
+    holds: bool
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def expect(self) -> "PropertyReport":
+        """Assert the property holds (for use in tests); returns self."""
+        assert self.holds, f"{self.name} violated: {self.details}"
+        return self
+
+
+def _slack(cluster: Cluster) -> float:
+    return EPS * cluster.params.d
+
+
+# ---------------------------------------------------------------------------
+# Core agreement properties (Theorem 3)
+# ---------------------------------------------------------------------------
+def agreement(
+    cluster: Cluster, general: int, since_real: float = 0.0
+) -> PropertyReport:
+    """If any correct node decides (G, m), all correct nodes decide (G, m).
+
+    Checked over each node's *latest* outcome after ``since_real`` (earlier
+    outcomes may predate stabilization).
+    """
+    latest = cluster.latest_decision_per_node(general, since_real)
+    values = metrics.decision_values(latest.values())
+    if not values:
+        return PropertyReport("agreement", True, {"note": "no correct node decided"})
+    single_value = len(values) == 1
+    everyone = set(latest) == set(cluster.correct_ids) and all(
+        dec.decided for dec in latest.values()
+    )
+    return PropertyReport(
+        "agreement",
+        single_value and everyone,
+        {
+            "values": sorted(map(repr, values)),
+            "deciders": sorted(n for n, d in latest.items() if d.decided),
+            "correct": sorted(cluster.correct_ids),
+        },
+    )
+
+
+def validity(
+    cluster: Cluster, general: int, value: object, since_real: float = 0.0
+) -> PropertyReport:
+    """With a correct General, every correct node decides the sent value."""
+    latest = cluster.latest_decision_per_node(general, since_real)
+    missing = [n for n in cluster.correct_ids if n not in latest]
+    wrong = [
+        (n, dec.value) for n, dec in latest.items() if dec.value != value
+    ]
+    return PropertyReport(
+        "validity",
+        not missing and not wrong,
+        {"expected": value, "missing": missing, "wrong": wrong},
+    )
+
+
+def termination(
+    cluster: Cluster, general: int, since_real: float = 0.0
+) -> PropertyReport:
+    """Every correct node that anchored (I-accepted) also returned, within
+    ``Delta_agr`` of its anchor (Timeliness-3)."""
+    p = cluster.params
+    slack = _slack(cluster)
+    accepts = metrics.i_accept_events(cluster, general, since_real)
+    latest = cluster.latest_decision_per_node(general, since_real)
+    failures = []
+    for node_id, accept_real, _value, tau_g_real in accepts:
+        dec = latest.get(node_id)
+        if dec is None:
+            failures.append((node_id, "anchored but never returned"))
+            continue
+        elapsed = dec.returned_real - tau_g_real
+        # Timeliness-3: terminate within Delta_agr of invocation; measured
+        # from the anchor, which precedes the invocation estimate.
+        if elapsed > p.delta_agr + 8 * p.d + slack:
+            failures.append((node_id, f"returned {elapsed:.3f} after anchor"))
+    return PropertyReport(
+        "termination",
+        not failures,
+        {"failures": failures, "bound": p.delta_agr},
+    )
+
+
+def timeliness_agreement(
+    cluster: Cluster, general: int, since_real: float = 0.0, validity_held: bool = False
+) -> PropertyReport:
+    """Timeliness-1: decision spread, anchor skew, anchor-precedes-decision."""
+    p = cluster.params
+    slack = _slack(cluster)
+    latest = cluster.latest_decision_per_node(general, since_real)
+    decided = metrics.decided_only(list(latest.values()))
+    if len(decided) < 2:
+        return PropertyReport(
+            "timeliness_agreement", True, {"note": "fewer than two deciders"}
+        )
+    spread_bound = (2.0 if validity_held else 3.0) * p.d
+    spread = metrics.decision_spread_real(decided) or 0.0
+    anchors = metrics.anchor_spread_real(decided) or 0.0
+    ordered = all(
+        dec.tau_g_real is not None
+        and dec.tau_g_real <= dec.returned_real + slack
+        and dec.returned_real - dec.tau_g_real <= p.delta_agr + 8 * p.d + slack
+        for dec in decided
+    )
+    holds = (
+        spread <= spread_bound + slack
+        and anchors <= 6.0 * p.d + slack
+        and ordered
+    )
+    return PropertyReport(
+        "timeliness_agreement",
+        holds,
+        {
+            "decision_spread": spread,
+            "decision_spread_bound": spread_bound,
+            "anchor_spread": anchors,
+            "anchor_spread_bound": 6.0 * p.d,
+            "ordered": ordered,
+        },
+    )
+
+
+def timeliness_validity(
+    cluster: Cluster, general: int, t0_real: float, since_real: float = 0.0
+) -> PropertyReport:
+    """Timeliness-2: ``t0 - d <= rt(tau_G_q) <= rt(tau_q) <= t0 + 4d``."""
+    p = cluster.params
+    slack = _slack(cluster)
+    latest = cluster.latest_decision_per_node(general, since_real)
+    decided = metrics.decided_only(list(latest.values()))
+    failures = []
+    for dec in decided:
+        if dec.tau_g_real is None:
+            failures.append((dec.node, "no anchor"))
+            continue
+        if not (
+            t0_real - p.d - slack
+            <= dec.tau_g_real
+            <= dec.returned_real + slack
+        ):
+            failures.append((dec.node, f"anchor {dec.tau_g_real:.3f}"))
+        if dec.returned_real > t0_real + 4.0 * p.d + slack:
+            failures.append((dec.node, f"returned {dec.returned_real:.3f}"))
+    return PropertyReport(
+        "timeliness_validity",
+        bool(decided) and not failures,
+        {"t0": t0_real, "failures": failures, "deciders": len(decided)},
+    )
+
+
+def separation(
+    cluster: Cluster, general: int, since_real: float = 0.0
+) -> PropertyReport:
+    """Timeliness-4 / IA-4: anchors of distinct agreements are separated.
+
+    For any two correct-node I-accepts for this General:
+    different values -> anchors more than ``4d`` apart;
+    same value -> anchors within ``6d`` or more than ``2 Delta_rmv - 3d``
+    apart.
+    """
+    p = cluster.params
+    slack = _slack(cluster)
+    accepts = metrics.i_accept_events(cluster, general, since_real)
+    violations = []
+    for (n1, _t1, m1, a1), (n2, _t2, m2, a2) in combinations(accepts, 2):
+        gap = abs(a1 - a2)
+        if m1 != m2:
+            if gap <= 4.0 * p.d - slack:
+                violations.append((n1, n2, repr(m1), repr(m2), gap))
+        else:
+            if gap > 6.0 * p.d + slack and gap <= 2.0 * p.delta_rmv - 3.0 * p.d - slack:
+                violations.append((n1, n2, repr(m1), repr(m2), gap))
+    return PropertyReport(
+        "separation",
+        not violations,
+        {"violations": violations, "accepts": len(accepts)},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Initiator-Accept properties (Theorem 1)
+# ---------------------------------------------------------------------------
+def ia_correctness(
+    cluster: Cluster,
+    general: int,
+    value: object,
+    t0_real: float,
+    since_real: float = 0.0,
+) -> PropertyReport:
+    """IA-1: all correct nodes I-accept (G, m) fast, close, and anchored.
+
+    [1A] all accept within ``4d`` of the (correct) General's initiation at
+    ``t0``; [1B] accepts within ``2d`` of each other; [1C] anchors within
+    ``d`` of each other; [1D] ``t0 - d <= rt(tau_G) <= rt(accept) <= t0+4d``.
+    """
+    p = cluster.params
+    slack = _slack(cluster)
+    accepts = [
+        (node, t, m, anchor)
+        for node, t, m, anchor in metrics.i_accept_events(cluster, general, since_real)
+        if m == value
+    ]
+    accepted_nodes = {node for node, _t, _m, _a in accepts}
+    all_accepted = accepted_nodes == set(cluster.correct_ids)
+    times = [t for _n, t, _m, _a in accepts]
+    anchors = [a for _n, _t, _m, a in accepts]
+    within_4d = all(t <= t0_real + 4.0 * p.d + slack for t in times)
+    spread_2d = (max(times) - min(times) <= 2.0 * p.d + slack) if times else False
+    anchor_d = (max(anchors) - min(anchors) <= p.d + slack) if anchors else False
+    bounds_1d = all(
+        t0_real - p.d - slack <= a <= t + slack and t <= t0_real + 4.0 * p.d + slack
+        for (_n, t, _m, a) in accepts
+    )
+    return PropertyReport(
+        "ia_correctness",
+        all_accepted and within_4d and spread_2d and anchor_d and bounds_1d,
+        {
+            "accepted_nodes": sorted(accepted_nodes),
+            "correct": sorted(cluster.correct_ids),
+            "accept_spread": (max(times) - min(times)) if times else None,
+            "anchor_spread": (max(anchors) - min(anchors)) if anchors else None,
+            "within_4d": within_4d,
+        },
+    )
+
+
+def ia_unforgeability(
+    cluster: Cluster, general: int, value: object, since_real: float = 0.0
+) -> PropertyReport:
+    """IA-2: no correct node I-accepts a value no correct node invoked."""
+    accepts = [
+        (node, t)
+        for node, t, m, _a in metrics.i_accept_events(cluster, general, since_real)
+        if m == value
+    ]
+    return PropertyReport(
+        "ia_unforgeability", not accepts, {"forged_accepts": accepts}
+    )
+
+
+def ia_relay(
+    cluster: Cluster, general: int, since_real: float = 0.0
+) -> PropertyReport:
+    """IA-3 [3A]: a fresh I-accept at one correct node drags all along.
+
+    For every correct I-accept whose age (accept time minus anchor) is within
+    ``Delta_agr``: every correct node I-accepts the same value within ``2d``,
+    with anchors within ``6d``.
+    """
+    p = cluster.params
+    slack = _slack(cluster)
+    accepts = metrics.i_accept_events(cluster, general, since_real)
+    by_value: dict[object, list[tuple[int, float, float]]] = {}
+    for node, t, m, anchor in accepts:
+        by_value.setdefault(m, []).append((node, t, anchor))
+    failures = []
+    for m, group in by_value.items():
+        fresh = [
+            (node, t, anchor)
+            for node, t, anchor in group
+            if t - anchor <= p.delta_agr + slack
+        ]
+        if not fresh:
+            continue
+        nodes = {node for node, _t, _a in group}
+        if nodes != set(cluster.correct_ids):
+            failures.append((repr(m), "missing accepts", sorted(nodes)))
+            continue
+        times = [t for _n, t, _a in group]
+        anchors = [a for _n, _t, a in group]
+        if max(times) - min(times) > 2.0 * p.d + slack:
+            failures.append((repr(m), "accept spread", max(times) - min(times)))
+        if max(anchors) - min(anchors) > 6.0 * p.d + slack:
+            failures.append((repr(m), "anchor spread", max(anchors) - min(anchors)))
+    return PropertyReport("ia_relay", not failures, {"failures": failures})
+
+
+# ---------------------------------------------------------------------------
+# msgd-broadcast properties (Theorem 2)
+# ---------------------------------------------------------------------------
+def tps_correctness(
+    cluster: Cluster, general: int, since_real: float = 0.0
+) -> PropertyReport:
+    """TPS-1: a correct msgd-broadcast (p, m, k) is accepted by all correct
+    nodes within ``3d`` (real time) of the invocation."""
+    p = cluster.params
+    slack = _slack(cluster)
+    invokes = metrics.mb_invoke_events(cluster, general, since_real)
+    accepts = metrics.mb_accept_events(cluster, general, since_real)
+    failures = []
+    for origin, t_invoke, value, k in invokes:
+        matching = {
+            node: t
+            for node, t, o, m, kk in accepts
+            if o == origin and m == value and kk == k
+        }
+        missing = set(cluster.correct_ids) - set(matching)
+        if missing:
+            failures.append((origin, value, k, "missing", sorted(missing)))
+            continue
+        late = {
+            node: t
+            for node, t in matching.items()
+            if abs(t - t_invoke) > 3.0 * p.d + slack
+        }
+        if late:
+            failures.append((origin, value, k, "late", late))
+    return PropertyReport(
+        "tps_correctness", not failures, {"failures": failures, "invokes": len(invokes)}
+    )
+
+
+def tps_unforgeability(
+    cluster: Cluster, general: int, since_real: float = 0.0
+) -> PropertyReport:
+    """TPS-2: no accept of (p, m, k) for a correct p that never broadcast it."""
+    invoked = {
+        (origin, value, k)
+        for origin, _t, value, k in metrics.mb_invoke_events(
+            cluster, general, since_real
+        )
+    }
+    correct = set(cluster.correct_ids)
+    forged = [
+        (node, origin, value, k)
+        for node, _t, origin, value, k in metrics.mb_accept_events(
+            cluster, general, since_real
+        )
+        if origin in correct and (origin, value, k) not in invoked
+    ]
+    return PropertyReport("tps_unforgeability", not forged, {"forged": forged})
+
+
+def tps_relay(
+    cluster: Cluster, general: int, since_real: float = 0.0
+) -> PropertyReport:
+    """TPS-3 (real-time corollary): one correct accept drags all within 4d."""
+    p = cluster.params
+    slack = _slack(cluster)
+    accepts = metrics.mb_accept_events(cluster, general, since_real)
+    by_triplet: dict[tuple, dict[int, float]] = {}
+    for node, t, origin, value, k in accepts:
+        by_triplet.setdefault((origin, value, k), {})[node] = t
+    failures = []
+    for triplet, per_node in by_triplet.items():
+        missing = set(cluster.correct_ids) - set(per_node)
+        if missing:
+            failures.append((triplet, "missing", sorted(missing)))
+            continue
+        spread = max(per_node.values()) - min(per_node.values())
+        if spread > 4.0 * p.d + slack:
+            failures.append((triplet, "spread", spread))
+    return PropertyReport(
+        "tps_relay", not failures, {"failures": failures, "triplets": len(by_triplet)}
+    )
+
+
+def tps_detection(
+    cluster: Cluster, general: int, since_real: float = 0.0
+) -> PropertyReport:
+    """TPS-4 (second half): a correct node that never msgd-broadcast is never
+    in any correct node's broadcasters set."""
+    invoked_origins = {
+        origin
+        for origin, _t, _v, _k in metrics.mb_invoke_events(cluster, general, since_real)
+    }
+    correct = set(cluster.correct_ids)
+    violations = []
+    for ev in cluster.tracer.of_kind("mb_broadcaster"):
+        if ev.node not in correct or ev.real_time < since_real:
+            continue
+        if ev.detail.get("general") != general:
+            continue
+        origin = ev.detail["origin"]
+        if origin in correct and origin not in invoked_origins:
+            violations.append((ev.node, origin, ev.real_time))
+    return PropertyReport("tps_detection", not violations, {"violations": violations})
+
+
+def check_all_stable(
+    cluster: Cluster, general: int, since_real: float = 0.0
+) -> list[PropertyReport]:
+    """Run every always-applicable checker for one General."""
+    return [
+        agreement(cluster, general, since_real),
+        termination(cluster, general, since_real),
+        timeliness_agreement(cluster, general, since_real),
+        separation(cluster, general, since_real),
+        ia_relay(cluster, general, since_real),
+        tps_unforgeability(cluster, general, since_real),
+        tps_relay(cluster, general, since_real),
+        tps_detection(cluster, general, since_real),
+    ]
+
+
+__all__ = [
+    "PropertyReport",
+    "agreement",
+    "check_all_stable",
+    "ia_correctness",
+    "ia_relay",
+    "ia_unforgeability",
+    "separation",
+    "termination",
+    "timeliness_agreement",
+    "timeliness_validity",
+    "tps_correctness",
+    "tps_detection",
+    "tps_relay",
+    "tps_unforgeability",
+    "validity",
+]

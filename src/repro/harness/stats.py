@@ -1,0 +1,70 @@
+"""Aggregation helpers for experiment sweeps."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "p50": self.p50,
+            "p95": self.p95,
+            "max": self.maximum,
+        }
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an already sorted sample."""
+    if not sorted_values:
+        raise ValueError("empty sample")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return sorted_values[low]
+    fraction = position - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+def summarize(values: Iterable[float]) -> Optional[Summary]:
+    """Summary of a sample; None if empty."""
+    data = sorted(values)
+    if not data:
+        return None
+    return Summary(
+        count=len(data),
+        mean=sum(data) / len(data),
+        minimum=data[0],
+        p50=percentile(data, 0.5),
+        p95=percentile(data, 0.95),
+        maximum=data[-1],
+    )
+
+
+def fraction_true(outcomes: Iterable[bool]) -> float:
+    """Share of True values (1.0 for an empty iterable is wrong -> raise)."""
+    data = list(outcomes)
+    if not data:
+        raise ValueError("empty sample")
+    return sum(1 for item in data if item) / len(data)
+
+
+__all__ = ["Summary", "fraction_true", "percentile", "summarize"]

@@ -1,0 +1,31 @@
+"""Authenticated bounded-delay message network (paper Definition 2).
+
+When the network is *non-faulty* every message from a non-faulty node arrives
+within ``delta`` real-time units with sender identity and content intact.
+When it is *faulty* (the transient period before coherence) anything goes:
+messages may be dropped, delayed arbitrarily, reordered, and spurious
+messages with forged sender identities may be injected -- everything except
+the one thing the model never allows, which is breaking sender
+authentication *after* the network becomes correct.
+"""
+
+from repro.net.delivery import (
+    AdversarialDelay,
+    DeliveryDecision,
+    DeliveryPolicy,
+    FixedDelay,
+    IncoherentDelivery,
+    UniformDelay,
+)
+from repro.net.network import Envelope, Network
+
+__all__ = [
+    "AdversarialDelay",
+    "DeliveryDecision",
+    "DeliveryPolicy",
+    "Envelope",
+    "FixedDelay",
+    "IncoherentDelivery",
+    "Network",
+    "UniformDelay",
+]

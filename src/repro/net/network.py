@@ -1,0 +1,186 @@
+"""The message-passing fabric connecting nodes.
+
+Responsibilities:
+
+* point-to-point sends with authenticated sender identity (the receiver
+  always learns the true ``sender`` -- the model's one unbreakable guarantee
+  once the network is correct);
+* per-copy delivery decisions delegated to the active
+  :class:`~repro.net.delivery.DeliveryPolicy`;
+* *spurious injection* for the transient period: the fault injector may put
+  arbitrary messages with arbitrary claimed senders in flight, modelling the
+  paper's "the communication network may behave arbitrarily";
+* accounting (messages sent / delivered / dropped) for the complexity
+  experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.net.delivery import DeliveryPolicy
+from repro.sim.engine import Simulator
+from repro.sim.rand import RandomSource
+from repro.sim.trace import Tracer
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A delivered message as seen by the receiver."""
+
+    sender: int
+    receiver: int
+    payload: object
+    sent_at: float
+    delivered_at: float
+
+
+Receiver = Callable[[Envelope], None]
+
+
+class Network:
+    """Bounded-delay authenticated network bound to one simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        policy: DeliveryPolicy,
+        rng: RandomSource,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self._sim = sim
+        self._policy = policy
+        self._rng = rng
+        self._tracer = tracer
+        self._receivers: dict[int, Receiver] = {}
+        self._partitioned: set[int] = set()
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def register(self, node_id: int, receiver: Receiver) -> None:
+        """Attach a node's message handler."""
+        if node_id in self._receivers:
+            raise ValueError(f"node {node_id} already registered")
+        self._receivers[node_id] = receiver
+
+    @property
+    def node_ids(self) -> list[int]:
+        """All registered node identifiers, sorted."""
+        return sorted(self._receivers)
+
+    # ------------------------------------------------------------------
+    # Policy control (scenario transitions, e.g. incoherent -> coherent)
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> DeliveryPolicy:
+        """The active delivery policy."""
+        return self._policy
+
+    def set_policy(self, policy: DeliveryPolicy) -> None:
+        """Swap the delivery policy (e.g. when the network becomes correct)."""
+        self._policy = policy
+
+    def partition(self, node_id: int) -> None:
+        """Disconnect a node entirely (crash / isolation modelling)."""
+        self._partitioned.add(node_id)
+
+    def heal(self, node_id: int) -> None:
+        """Reconnect a partitioned node."""
+        self._partitioned.discard(node_id)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, sender: int, receiver: int, payload: object) -> None:
+        """Send one message; the policy decides delay/drop per copy."""
+        self.sent_count += 1
+        if self._tracer is not None:
+            self._tracer.record(
+                self._sim.now, sender, "send", receiver=receiver, payload=payload
+            )
+        self._dispatch(sender, receiver, payload, authenticated=True)
+
+    def broadcast(self, sender: int, payload: object) -> None:
+        """Send one copy to every registered node (including the sender).
+
+        The model has no broadcast medium: this is n point-to-point sends and
+        a Byzantine sender may instead call :meth:`send` selectively.
+        """
+        for receiver in self.node_ids:
+            self.send(sender, receiver, payload)
+
+    def inject_spurious(
+        self,
+        claimed_sender: int,
+        receiver: int,
+        payload: object,
+        delay: float = 0.0,
+    ) -> None:
+        """Put a forged message in flight (transient-fault modelling only).
+
+        Bypasses the delivery policy; the claimed sender identity is *not*
+        authenticated.  Legal only while the network is faulty -- callers
+        (the transient injector) enforce that scenario-side.
+        """
+        self._deliver_later(claimed_sender, receiver, payload, self._sim.now, delay)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self, sender: int, receiver: int, payload: object, authenticated: bool
+    ) -> None:
+        if receiver not in self._receivers:
+            raise ValueError(f"unknown receiver {receiver}")
+        if sender in self._partitioned or receiver in self._partitioned:
+            self.dropped_count += 1
+            return
+        decision = self._policy.decide(sender, receiver, payload, self._rng)
+        if decision.drop:
+            self.dropped_count += 1
+            if self._tracer is not None:
+                self._tracer.record(
+                    self._sim.now, sender, "drop", receiver=receiver, payload=payload
+                )
+            return
+        self._deliver_later(sender, receiver, payload, self._sim.now, decision.delay)
+
+    def _deliver_later(
+        self,
+        sender: int,
+        receiver: int,
+        payload: object,
+        sent_at: float,
+        delay: float,
+    ) -> None:
+        def deliver() -> None:
+            if receiver in self._partitioned:
+                self.dropped_count += 1
+                return
+            self.delivered_count += 1
+            envelope = Envelope(
+                sender=sender,
+                receiver=receiver,
+                payload=payload,
+                sent_at=sent_at,
+                delivered_at=self._sim.now,
+            )
+            if self._tracer is not None:
+                self._tracer.record(
+                    self._sim.now,
+                    receiver,
+                    "deliver",
+                    sender=sender,
+                    payload=payload,
+                )
+            self._receivers[receiver](envelope)
+
+        self._sim.schedule_in(delay, deliver, tag=f"deliver:{sender}->{receiver}")
+
+
+__all__ = ["Envelope", "Network", "Receiver"]

@@ -1,0 +1,148 @@
+"""Base class for simulated nodes.
+
+Design rules enforced here (mirroring the paper's model):
+
+* a node reads time *only* via its :class:`~repro.sim.clock.DriftClock`
+  (``local_now``), never the simulator's real time;
+* a node interacts with other nodes *only* via the network;
+* local timers are scheduled in local-time units and are translated to the
+  real axis through the node's own (possibly drifting) clock;
+* a node can be *stunned* (crashed) and later resumed, and its timers can be
+  wiped by a transient fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.net.network import Envelope, Network
+from repro.sim.clock import ClockConfig, DriftClock
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.trace import Tracer
+
+
+@dataclass
+class NodeContext:
+    """Everything a node needs to exist in a scenario."""
+
+    sim: Simulator
+    net: Network
+    tracer: Tracer
+    clock_config: ClockConfig = ClockConfig()
+
+
+class Node:
+    """A process with a drifting clock, an inbox, and local timers."""
+
+    def __init__(self, node_id: int, ctx: NodeContext) -> None:
+        self.node_id = node_id
+        self.sim = ctx.sim
+        self.net = ctx.net
+        self.tracer = ctx.tracer
+        self.clock = DriftClock(ctx.sim, ctx.clock_config)
+        self._timers: list[EventHandle] = []
+        self._crashed = False
+        ctx.net.register(node_id, self._receive)
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def local_now(self) -> float:
+        """Current local-clock reading."""
+        return self.clock.local_now()
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, receiver: int, payload: object) -> None:
+        """Point-to-point send (ignored while crashed)."""
+        if self._crashed:
+            return
+        self.net.send(self.node_id, receiver, payload)
+
+    def broadcast(self, payload: object) -> None:
+        """Send to every node, including self (no broadcast medium)."""
+        if self._crashed:
+            return
+        self.net.broadcast(self.node_id, payload)
+
+    def _receive(self, envelope: Envelope) -> None:
+        if self._crashed:
+            return
+        self.on_message(envelope)
+
+    def on_message(self, envelope: Envelope) -> None:
+        """Handle a delivered message.  Subclasses override."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Local timers
+    # ------------------------------------------------------------------
+    def after_local(
+        self, delay_local: float, action: Callable[[], None], tag: str = ""
+    ) -> EventHandle:
+        """Run ``action`` after a local-time delay measured on *this* clock."""
+        real_delay = self.clock.real_delay_for_local(delay_local)
+
+        def guarded() -> None:
+            if not self._crashed:
+                action()
+
+        handle = self.sim.schedule_in(
+            real_delay, guarded, tag=tag or f"timer:{self.node_id}"
+        )
+        self._timers.append(handle)
+        return handle
+
+    def every_local(
+        self, interval_local: float, action: Callable[[], None], tag: str = ""
+    ) -> None:
+        """Run ``action`` periodically, every local interval, forever."""
+        if interval_local <= 0:
+            raise ValueError(f"interval must be positive, got {interval_local!r}")
+
+        def tick() -> None:
+            action()
+            self.after_local(interval_local, tick, tag=tag)
+
+        self.after_local(interval_local, tick, tag=tag)
+
+    def cancel_timers(self) -> None:
+        """Cancel all pending timers (used by crash / corruption)."""
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
+
+    # ------------------------------------------------------------------
+    # Crash control
+    # ------------------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        """True while the node is stopped."""
+        return self._crashed
+
+    def crash(self) -> None:
+        """Stop participating entirely (messages and timers ignored)."""
+        self._crashed = True
+
+    def resume(self) -> None:
+        """Resume after a crash.  State is whatever it was -- deliberately.
+
+        A resumed node is *non-faulty* but not yet *correct* in the paper's
+        terms (Definition 4): its memory may be stale and it becomes correct
+        only after ``Delta_node`` of continuous good behaviour.
+        """
+        self._crashed = False
+
+    # ------------------------------------------------------------------
+    # Tracing helper
+    # ------------------------------------------------------------------
+    def trace(self, kind: str, **detail: object) -> None:
+        """Record a trace event attributed to this node, with both clocks."""
+        self.tracer.record(
+            self.sim.now, self.node_id, kind, local_time=self.local_now(), **detail
+        )
+
+
+__all__ = ["Node", "NodeContext"]

@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate.
+
+This package provides the execution substrate on which every protocol in
+:mod:`repro` runs:
+
+* :mod:`repro.sim.engine` -- the discrete-event kernel (priority queue of
+  timestamped events on a real-time axis, deterministic tie-breaking).
+* :mod:`repro.sim.clock` -- per-node local clocks with bounded drift and
+  arbitrary offset, matching the paper's timer model (Definition 1).
+* :mod:`repro.sim.rand` -- deterministic, hierarchically split randomness so
+  every run is reproducible from a single seed.
+* :mod:`repro.sim.trace` -- a structured trace of everything that happened,
+  consumed by the property checkers in :mod:`repro.harness.properties`.
+"""
+
+from repro.sim.clock import ClockConfig, DriftClock
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.rand import RandomSource
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "ClockConfig",
+    "DriftClock",
+    "EventHandle",
+    "Simulator",
+    "RandomSource",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,181 @@
+"""Discrete-event simulation kernel.
+
+The simulator maintains a single *real-time* axis (a float, in abstract time
+units) and a priority queue of events.  Protocol code never reads real time
+directly -- nodes observe time only through their :class:`~repro.sim.clock.
+DriftClock` -- but the property checkers and the adversary are allowed to, in
+exactly the way the paper's proofs quantify over real time ``rt(.)``.
+
+Determinism
+-----------
+Two events scheduled for the same real time are executed in the order they
+were scheduled (a monotonically increasing sequence number breaks ties), so a
+run is a pure function of (scenario, seed).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulator (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event."""
+
+    __slots__ = ("cancelled", "time", "tag")
+
+    def __init__(self, time: float, tag: str = "") -> None:
+        self.cancelled = False
+        self.time = time
+        self.tag = tag
+
+    def cancel(self) -> None:
+        """Prevent the event from running.  Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.3f}, tag={self.tag!r}, {state})"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the real-time axis.  Non-zero starts are useful for
+        tests that want to prove nothing depends on absolute time.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[_QueuedEvent] = []
+        self._seq = itertools.count()
+        self._events_executed = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Time and introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current real time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (for budget checks in tests)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for ev in self._queue if not ev.handle.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self, time: float, action: Callable[[], None], tag: str = ""
+    ) -> EventHandle:
+        """Schedule ``action`` to run at absolute real time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time:.6f} before now={self._now:.6f}"
+            )
+        handle = EventHandle(time, tag)
+        heapq.heappush(
+            self._queue, _QueuedEvent(time, next(self._seq), action, handle)
+        )
+        return handle
+
+    def schedule_in(
+        self, delay: float, action: Callable[[], None], tag: str = ""
+    ) -> EventHandle:
+        """Schedule ``action`` to run ``delay`` real-time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, action, tag)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next event.  Returns False if queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.handle.cancelled:
+                continue
+            self._now = ev.time
+            self._events_executed += 1
+            ev.action()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event queue drains (or ``max_events`` is reached).
+
+        Returns the number of events executed by this call.
+        """
+        return self._run_loop(until=None, max_events=max_events)
+
+    def run_until(self, until: float, max_events: Optional[int] = None) -> int:
+        """Run events with time <= ``until``; advances ``now`` to ``until``.
+
+        Events scheduled beyond ``until`` stay queued.  Returns the number of
+        events executed by this call.
+        """
+        executed = self._run_loop(until=until, max_events=max_events)
+        if not self._stop_requested and self._now < until:
+            self._now = until
+        return executed
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` / :meth:`run_until` to stop."""
+        self._stop_requested = True
+
+    def _run_loop(self, until: Optional[float], max_events: Optional[int]) -> int:
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        executed = 0
+        try:
+            while self._queue:
+                if self._stop_requested:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._queue[0]
+                if head.handle.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = head.time
+                self._events_executed += 1
+                executed += 1
+                head.action()
+        finally:
+            self._running = False
+        return executed
+
+
+__all__ = ["EventHandle", "SimulationError", "Simulator"]

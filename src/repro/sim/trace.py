@@ -1,0 +1,118 @@
+"""Structured run traces.
+
+The property checkers (:mod:`repro.harness.properties`) validate the paper's
+theorems against *what actually happened* in a run, so every semantically
+meaningful occurrence -- sends, deliveries, I-accepts, msgd accepts,
+decisions, aborts, corruptions, coherence transitions -- is recorded here as
+a :class:`TraceEvent` carrying both real time and the acting node's local
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One record in the run trace.
+
+    Attributes
+    ----------
+    real_time:
+        Real time of the occurrence (the proofs' ``rt(.)`` axis).
+    node:
+        Identifier of the acting node, or ``None`` for network/scenario-level
+        events.
+    kind:
+        Event category, e.g. ``"send"``, ``"deliver"``, ``"i_accept"``,
+        ``"decide"``, ``"abort"``, ``"corrupt"``, ``"coherent"``.
+    detail:
+        Free-form payload; keys are event-kind specific but stable within a
+        kind (the checkers rely on them).
+    local_time:
+        Acting node's local clock reading, when applicable.
+    """
+
+    real_time: float
+    node: Optional[int]
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+    local_time: Optional[float] = None
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records and answers queries over them."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: list[TraceEvent] = []
+        self._counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        real_time: float,
+        node: Optional[int],
+        kind: str,
+        local_time: Optional[float] = None,
+        **detail: Any,
+    ) -> None:
+        """Append an event (cheap no-op when tracing is disabled)."""
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        if not self.enabled:
+            return
+        self._events.append(
+            TraceEvent(
+                real_time=real_time,
+                node=node,
+                kind=kind,
+                detail=detail,
+                local_time=local_time,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> list[TraceEvent]:
+        """All recorded events in execution order."""
+        return self._events
+
+    def count(self, kind: str) -> int:
+        """Number of events of the given kind (counted even when disabled)."""
+        return self._counts.get(kind, 0)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All events of one kind, in order."""
+        return [ev for ev in self._events if ev.kind == kind]
+
+    def filter(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
+        """All events satisfying an arbitrary predicate."""
+        return [ev for ev in self._events if predicate(ev)]
+
+    def by_node(self, node: int) -> list[TraceEvent]:
+        """All events attributed to one node."""
+        return [ev for ev in self._events if ev.node == node]
+
+    def first(
+        self, kind: str, predicate: Optional[Callable[[TraceEvent], bool]] = None
+    ) -> Optional[TraceEvent]:
+        """Earliest event of a kind (optionally further filtered)."""
+        for ev in self._events:
+            if ev.kind == kind and (predicate is None or predicate(ev)):
+                return ev
+        return None
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+__all__ = ["TraceEvent", "Tracer"]

@@ -1,0 +1,60 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.harness.scenario import Cluster, ScenarioConfig
+from repro.net.delivery import UniformDelay
+from repro.sim.engine import Simulator
+from repro.sim.rand import RandomSource
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    return Tracer()
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    return RandomSource(12345)
+
+
+@pytest.fixture
+def params4() -> ProtocolParams:
+    """Smallest legal configuration: n=4, f=1."""
+    return ProtocolParams(n=4, f=1, delta=1.0, rho=1e-4)
+
+
+@pytest.fixture
+def params7() -> ProtocolParams:
+    """The paper-typical n=7, f=2 configuration."""
+    return ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4)
+
+
+def make_cluster(params: ProtocolParams, seed: int = 0, **kwargs) -> Cluster:
+    """Convenience cluster builder used across integration tests."""
+    return Cluster(ScenarioConfig(params=params, seed=seed, **kwargs))
+
+
+def run_agreement(
+    cluster: Cluster, general: int = 0, value: object = "v", extra: float = 10.0
+) -> float:
+    """Propose and run to completion; returns the initiation real-time."""
+    t0 = cluster.sim.now
+    assert cluster.propose(general=general, value=value)
+    cluster.run_for(cluster.params.delta_agr + extra * cluster.params.d)
+    return t0
+
+
+@pytest.fixture
+def fast_policy(params7: ProtocolParams) -> UniformDelay:
+    """Delivery at a tenth of the worst case."""
+    return UniformDelay(0.01 * params7.delta, 0.1 * params7.delta)

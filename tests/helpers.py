@@ -1,0 +1,45 @@
+"""Test doubles for driving primitives directly (no network, no peers)."""
+
+from __future__ import annotations
+
+from repro.core.params import ProtocolParams
+from repro.sim.clock import ClockConfig, DriftClock
+from repro.sim.engine import Simulator
+
+
+class FakeHost:
+    """Implements the primitives' Host protocol with full manual control."""
+
+    def __init__(
+        self,
+        params: ProtocolParams,
+        node_id: int = 0,
+        clock_config: ClockConfig = ClockConfig(),
+    ) -> None:
+        self.sim = Simulator()
+        self.params = params
+        self.node_id = node_id
+        self.clock = DriftClock(self.sim, clock_config)
+        self.sent: list[tuple[float, object]] = []
+        self.traced: list[tuple[str, dict]] = []
+
+    # Host protocol -------------------------------------------------------
+    def local_now(self) -> float:
+        return self.clock.local_now()
+
+    def broadcast(self, payload: object) -> None:
+        self.sent.append((self.local_now(), payload))
+
+    def trace(self, kind: str, **detail: object) -> None:
+        self.traced.append((kind, detail))
+
+    # Test-control helpers --------------------------------------------------
+    def advance(self, real_delta: float) -> None:
+        """Move real time forward (runs any pending events)."""
+        self.sim.run_until(self.sim.now + real_delta)
+
+    def sent_of(self, cls: type) -> list[object]:
+        return [payload for _t, payload in self.sent if isinstance(payload, cls)]
+
+    def traced_kinds(self) -> list[str]:
+        return [kind for kind, _ in self.traced]

@@ -1,0 +1,154 @@
+"""Driving the protocol into its abort blocks (T/U) with crafted attacks.
+
+The happy paths decide via Block R; these tests build the executions the
+paper's Lemma 7 reasons about: a Byzantine cabal delays the completion of
+the Initiator-Accept wave so that every accepting node's anchor is stale
+(past Block R's freshness bound), no one ever msgd-broadcasts, the
+broadcaster count stays at zero, and Block T returns BOTTOM at the round
+deadline.  Also the paper's observation that "some nodes [may] associate a
+BOTTOM with a faulty sending and others may not notice the sending at all".
+
+Attack anatomy (n = 7, f = 2; Byzantine: General 0 and helper 6):
+
+* Initiator goes only to nodes 1-3; with Byzantine supports they approve,
+  so ready *flags* arm everywhere (flags live Delta_rmv) but only nodes 1-2
+  also receive Byzantine approves, reach the n - f = 5 approve quorum, and
+  send ready: exactly two correct ready messages exist -- below the
+  n - 2f = 3 amplification threshold, so the wave stalls.
+* Block N is untimed, so the cabal can complete it arbitrarily late: at
+  ``release_d`` it finally sends its own ready messages.  Now 4 distinct
+  readies are visible, amplification fires at the flag-armed nodes, the
+  n - f quorum completes, and everyone I-accepts -- with an anchor
+  ~release_d + 3d stale, far past Block R's freshness bound.  Nobody
+  relays, the broadcasters set stays empty, and Block T aborts everyone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import ApproveMsg, InitiatorMsg, ReadyMsg, SupportMsg
+from repro.core.params import BOTTOM, ProtocolParams
+from repro.faults.byzantine import ScriptedStrategy
+from repro.harness import properties
+from repro.harness.scenario import Cluster, ScenarioConfig
+from repro.net.delivery import FixedDelay
+
+
+@pytest.fixture
+def params7() -> ProtocolParams:
+    return ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4)
+
+
+def stalled_wave_attack(params: ProtocolParams, release_d: float = 10.0):
+    """Byzantine scripts for the delayed-completion attack described above.
+
+    ``release_d = None`` means the cabal never releases its ready messages:
+    the wave stalls forever and no correct node returns anything.
+    """
+    d = params.d
+    seeded = (1, 2, 3)
+    early_approved = (1, 2)
+    everyone = tuple(range(params.n))
+    script = []
+    script.append((0.05 * d, seeded, InitiatorMsg(0, "m")))
+    for t in (0.2 * d, 0.9 * d):
+        script.append((t, seeded, SupportMsg(0, "m")))
+    for t in (2.2 * d, 2.6 * d):
+        script.append((t, early_approved, ApproveMsg(0, "m")))
+    if release_d is not None:
+        for t in (release_d * d, (release_d + 0.3) * d):
+            script.append((t, everyone, ReadyMsg(0, "m")))
+    general = ScriptedStrategy(tuple(script))
+    helper = ScriptedStrategy(
+        tuple((t, targets, payload) for t, targets, payload in script[1:])
+    )
+    return {0: general, 6: helper}
+
+
+def build(params: ProtocolParams, seed: int, release_d):
+    return Cluster(
+        ScenarioConfig(
+            params=params,
+            seed=seed,
+            byzantine=stalled_wave_attack(params, release_d),
+            policy=FixedDelay(0.1 * params.delta),
+        )
+    )
+
+
+class TestAllAbort:
+    def test_stale_anchor_makes_everyone_abort(self, params7):
+        cluster = build(params7, seed=1, release_d=10.0)
+        cluster.run_for(3 * params7.delta_agr)
+        latest = cluster.latest_decision_per_node(0)
+        deciders = {n for n, dec in latest.items() if dec.decided}
+        aborters = {n for n, dec in latest.items() if dec.value is BOTTOM}
+        assert deciders == set(), f"unexpected deciders: {deciders}"
+        assert aborters == set(cluster.correct_ids), latest
+        properties.agreement(cluster, 0).expect()
+
+    def test_abort_lands_at_the_t_block_deadline(self, params7):
+        cluster = build(params7, seed=2, release_d=10.0)
+        cluster.run_for(3 * params7.delta_agr)
+        returns = [
+            dec
+            for dec in cluster.latest_decision_per_node(0).values()
+            if dec.value is BOTTOM and dec.tau_g_real is not None
+        ]
+        assert returns
+        for dec in returns:
+            elapsed = dec.returned_real - dec.tau_g_real
+            # Block T's first armable deadline is r = 2: (2*2 + 1) * Phi
+            # (for f = 2 it coincides with Block U's hard stop).
+            assert elapsed <= 5 * params7.phi + params7.d
+            assert elapsed > 3 * params7.phi  # not an early return
+
+    def test_anchors_still_agree_among_aborters(self, params7):
+        """Even pure-BOTTOM executions anchor consistently (IA-3A)."""
+        cluster = build(params7, seed=3, release_d=10.0)
+        cluster.run_for(3 * params7.delta_agr)
+        anchors = [
+            dec.tau_g_real
+            for dec in cluster.latest_decision_per_node(0).values()
+            if dec.tau_g_real is not None
+        ]
+        assert len(anchors) >= 2
+        assert max(anchors) - min(anchors) <= 6 * params7.d
+
+
+class TestStalledForever:
+    def test_unreleased_wave_returns_nothing(self, params7):
+        """Without the late release, nobody ever reaches the ready quorum:
+        no decisions, no aborts -- the initiation just dies (the paper's
+        "may not notice the sending at all" outcome)."""
+        cluster = build(params7, seed=4, release_d=None)
+        cluster.run_for(3 * params7.delta_agr)
+        assert cluster.decisions(0) == []
+        properties.agreement(cluster, 0).expect()
+
+    def test_stalled_state_drains(self, params7):
+        """The stalled wave's residue decays; the log does not grow."""
+        cluster = build(params7, seed=5, release_d=None)
+        cluster.run_for(3 * params7.delta_agr)
+        cluster.run_for(2 * params7.delta_rmv)
+        for node in cluster.correct_nodes():
+            inst = node.instances.get(0)
+            if inst is not None:
+                assert inst.ia.log.total_records() == 0
+
+    def test_aborted_instance_recovers_for_next_agreement(self, params7):
+        """After an all-abort execution, a correct General's next agreement
+        goes through cleanly on the same instances."""
+        cluster = build(params7, seed=6, release_d=10.0)
+        cluster.run_for(3 * params7.delta_agr)
+        node = cluster.protocol_node(1)
+        guard = 0
+        while not node.may_propose("fresh"):
+            cluster.run_for(params7.d)
+            guard += 1
+            assert guard < 10_000
+        since = cluster.sim.now
+        assert cluster.propose(general=1, value="fresh")
+        cluster.run_for(params7.delta_agr + 10 * params7.d)
+        properties.validity(cluster, 1, "fresh", since_real=since).expect()

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestConstants:
+    def test_prints_all_constants(self, capsys):
+        assert main(["constants", "--n", "7", "--f", "2"]) == 0
+        out = capsys.readouterr().out
+        for name in ("d", "phi", "delta_agr", "delta_stb"):
+            assert name in out
+
+    def test_default_f_is_max(self, capsys):
+        assert main(["constants", "--n", "10"]) == 0
+        assert "f            = 3" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_happy_path_exit_zero(self, capsys):
+        assert main(["run", "--n", "4", "--seed", "1", "--value", "go"]) == 0
+        out = capsys.readouterr().out
+        assert "'go'" in out
+        assert "validity:  True" in out
+
+    def test_equivocate_attack_reports_agreement(self, capsys):
+        assert main(["run", "--n", "7", "--seed", "2", "--attack", "equivocate"]) == 0
+        assert "agreement: True" in capsys.readouterr().out
+
+    def test_crash_attack_no_decisions(self, capsys):
+        assert main(["run", "--n", "7", "--seed", "3", "--attack", "crash"]) == 0
+        assert "no correct node returned anything" in capsys.readouterr().out
+
+    def test_staggered_attack(self, capsys):
+        assert main(["run", "--n", "7", "--seed", "4", "--attack", "staggered"]) == 0
+        assert "agreement: True" in capsys.readouterr().out
+
+
+class TestStabilize:
+    def test_recovers(self, capsys):
+        assert main(["stabilize", "--n", "7", "--seed", "5", "--garbage", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "post-stabilization validity: True" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--attack", "nuclear"])

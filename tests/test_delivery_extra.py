@@ -1,0 +1,96 @@
+"""Tests for the bursty and partition delivery policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.harness import properties
+from repro.harness.scenario import Cluster, ScenarioConfig
+from repro.net.delivery import BurstyDelay, FixedDelay, LinkPartitionPolicy, UniformDelay
+from repro.sim.rand import RandomSource
+
+from tests.conftest import make_cluster, run_agreement
+
+
+class TestBurstyDelay:
+    def test_regime_alternation(self):
+        clock = {"now": 0.0}
+        policy = BurstyDelay(
+            now_fn=lambda: clock["now"],
+            period=10.0,
+            fast_max=0.1,
+            slow_min=0.5,
+            slow_max=1.0,
+        )
+        rng = RandomSource(1)
+        clock["now"] = 5.0  # fast phase
+        assert policy.decide(0, 1, "x", rng).delay <= 0.1
+        clock["now"] = 15.0  # slow phase
+        assert policy.decide(0, 1, "x", rng).delay >= 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyDelay(lambda: 0.0, period=0.0, fast_max=0.1, slow_min=0.2, slow_max=0.3)
+        with pytest.raises(ValueError):
+            BurstyDelay(lambda: 0.0, period=1.0, fast_max=0.1, slow_min=0.5, slow_max=0.3)
+
+    def test_agreement_survives_bursty_network(self):
+        params = ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4)
+        cluster = make_cluster(params, seed=1)
+        policy = BurstyDelay(
+            now_fn=lambda: cluster.sim.now,
+            period=3.0 * params.d,
+            fast_max=0.1 * params.delta,
+            slow_min=0.5 * params.delta,
+            slow_max=params.delta,  # still within the model bound
+        )
+        cluster.set_policy(policy)
+        t0 = run_agreement(cluster, general=0, value="v")
+        properties.validity(cluster, 0, "v").expect()
+        properties.timeliness_validity(cluster, 0, t0).expect()
+
+
+class TestLinkPartition:
+    def test_cut_blocks_cross_traffic_only(self):
+        policy = LinkPartitionPolicy(FixedDelay(1.0), island=frozenset({0, 1}))
+        rng = RandomSource(2)
+        assert policy.decide(0, 5, "x", rng).drop  # crosses the cut
+        assert policy.decide(5, 0, "x", rng).drop
+        assert not policy.decide(0, 1, "x", rng).drop  # inside island
+        assert not policy.decide(4, 5, "x", rng).drop  # outside island
+
+    def test_heal_restores(self):
+        policy = LinkPartitionPolicy(FixedDelay(1.0), island=frozenset({0}))
+        rng = RandomSource(3)
+        policy.heal()
+        assert not policy.decide(0, 5, "x", rng).drop
+
+    def test_recovery_after_partition_phase(self):
+        """Partition during the faulty period, heal, stabilize, agree."""
+        params = ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4)
+        cluster = make_cluster(params, seed=4)
+        partition = LinkPartitionPolicy(
+            UniformDelay(0.1 * params.delta, params.delta),
+            island=frozenset({0, 1, 2}),
+        )
+        cluster.set_policy(partition)
+        # Someone tries to agree across the cut: must not complete anywhere.
+        cluster.propose(general=0, value="doomed")
+        cluster.run_for(2 * params.delta_agr)
+        latest = cluster.latest_decision_per_node(0)
+        assert not any(dec.decided for dec in latest.values())
+        # Heal; the network is now correct; wait out stabilization.
+        partition.heal()
+        cluster.mark_coherent()
+        cluster.run_for(params.delta_stb)
+        since = cluster.sim.now
+        node = cluster.protocol_node(1)
+        guard = 0
+        while not node.may_propose("after-heal"):
+            cluster.run_for(params.d)
+            guard += 1
+            assert guard < 10_000
+        assert cluster.propose(general=1, value="after-heal")
+        cluster.run_for(params.delta_agr + 10 * params.d)
+        properties.validity(cluster, 1, "after-heal", since_real=since).expect()

@@ -1,0 +1,63 @@
+"""Unit tests for the protocol message vocabulary."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.messages import (
+    ALL_MESSAGE_TYPES,
+    ApproveMsg,
+    IA_MESSAGE_TYPES,
+    InitiatorMsg,
+    MB_MESSAGE_TYPES,
+    MBEchoMsg,
+    MBEchoPrimeMsg,
+    MBInitMsg,
+    MBInitPrimeMsg,
+    ReadyMsg,
+    SupportMsg,
+)
+
+
+class TestShape:
+    def test_all_types_are_frozen(self):
+        for cls in ALL_MESSAGE_TYPES:
+            assert dataclasses.fields(cls)
+            instance = (
+                cls(general=0, value="m")
+                if cls in IA_MESSAGE_TYPES
+                else cls(general=0, origin=1, value="m", k=1)
+            )
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                instance.general = 5  # type: ignore[misc]
+
+    def test_families_partition_all(self):
+        assert set(ALL_MESSAGE_TYPES) == set(IA_MESSAGE_TYPES) | set(MB_MESSAGE_TYPES)
+        assert not set(IA_MESSAGE_TYPES) & set(MB_MESSAGE_TYPES)
+
+    def test_equality_by_value(self):
+        assert SupportMsg(0, "m") == SupportMsg(0, "m")
+        assert SupportMsg(0, "m") != SupportMsg(0, "m2")
+        assert SupportMsg(0, "m") != ApproveMsg(0, "m")
+
+    def test_hashable(self):
+        msgs = {
+            InitiatorMsg(0, "a"),
+            SupportMsg(0, "a"),
+            ReadyMsg(0, "a"),
+            MBInitMsg(0, 1, "a", 1),
+            MBEchoMsg(0, 1, "a", 1),
+            MBInitPrimeMsg(0, 1, "a", 1),
+            MBEchoPrimeMsg(0, 1, "a", 1),
+        }
+        assert len(msgs) == 7
+
+    def test_mb_messages_carry_round(self):
+        msg = MBEchoMsg(general=3, origin=2, value="x", k=4)
+        assert (msg.general, msg.origin, msg.value, msg.k) == (3, 2, "x", 4)
+
+    def test_values_may_be_any_hashable(self):
+        assert SupportMsg(0, ("tuple", 1)).value == ("tuple", 1)
+        assert SupportMsg(0, 42).value == 42

@@ -1,0 +1,189 @@
+"""Unit tests for delivery policies and the network fabric."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.delivery import (
+    AdversarialDelay,
+    DeliveryDecision,
+    FixedDelay,
+    IncoherentDelivery,
+    UniformDelay,
+)
+from repro.net.network import Envelope, Network
+from repro.sim.engine import Simulator
+from repro.sim.rand import RandomSource
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def rng():
+    return RandomSource(1)
+
+
+class TestPolicies:
+    def test_fixed_delay(self, rng):
+        policy = FixedDelay(2.5)
+        decision = policy.decide(0, 1, "x", rng)
+        assert decision.delay == 2.5
+        assert not decision.drop
+
+    def test_fixed_delay_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedDelay(-1.0)
+
+    def test_uniform_delay_in_range(self, rng):
+        policy = UniformDelay(1.0, 2.0)
+        for _ in range(100):
+            decision = policy.decide(0, 1, "x", rng)
+            assert 1.0 <= decision.delay <= 2.0
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformDelay(2.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformDelay(-1.0, 1.0)
+
+    def test_adversarial_fast_and_slow(self, rng):
+        policy = AdversarialDelay(0.1, 1.0, fast_set=frozenset({1, 2}))
+        assert policy.decide(0, 1, "x", rng).delay == 0.1
+        assert policy.decide(0, 5, "x", rng).delay == 1.0
+
+    def test_incoherent_drops_and_delays(self, rng):
+        policy = IncoherentDelivery(drop_probability=0.5, max_delay=100.0)
+        outcomes = [policy.decide(0, 1, "x", rng) for _ in range(300)]
+        dropped = sum(1 for o in outcomes if o.drop)
+        assert 50 < dropped < 250  # roughly half
+        assert all(0 <= o.delay <= 100.0 for o in outcomes if not o.drop)
+
+    def test_incoherent_validates(self):
+        with pytest.raises(ValueError):
+            IncoherentDelivery(1.5, 1.0)
+        with pytest.raises(ValueError):
+            IncoherentDelivery(0.5, -1.0)
+
+    def test_dropped_constructor(self):
+        assert DeliveryDecision.dropped().drop
+
+
+class TestNetwork:
+    def build(self, policy=None):
+        sim = Simulator()
+        net = Network(sim, policy or FixedDelay(1.0), RandomSource(2), Tracer())
+        inboxes: dict[int, list[Envelope]] = {i: [] for i in range(3)}
+        for i in range(3):
+            net.register(i, inboxes[i].append)
+        return sim, net, inboxes
+
+    def test_send_delivers_with_delay(self):
+        sim, net, inboxes = self.build()
+        net.send(0, 1, "hello")
+        assert inboxes[1] == []
+        sim.run()
+        assert len(inboxes[1]) == 1
+        env = inboxes[1][0]
+        assert env.sender == 0
+        assert env.payload == "hello"
+        assert env.delivered_at == pytest.approx(1.0)
+
+    def test_sender_identity_authenticated(self):
+        sim, net, inboxes = self.build()
+        net.send(2, 0, "msg")
+        sim.run()
+        assert inboxes[0][0].sender == 2
+
+    def test_broadcast_reaches_everyone_including_sender(self):
+        sim, net, inboxes = self.build()
+        net.broadcast(0, "all")
+        sim.run()
+        assert all(len(inboxes[i]) == 1 for i in range(3))
+
+    def test_unknown_receiver_raises(self):
+        _sim, net, _ = self.build()
+        with pytest.raises(ValueError):
+            net.send(0, 99, "x")
+
+    def test_duplicate_registration_rejected(self):
+        _sim, net, _ = self.build()
+        with pytest.raises(ValueError):
+            net.register(0, lambda env: None)
+
+    def test_accounting(self):
+        sim, net, _ = self.build()
+        net.broadcast(0, "x")
+        sim.run()
+        assert net.sent_count == 3
+        assert net.delivered_count == 3
+        assert net.dropped_count == 0
+
+    def test_partition_drops_messages(self):
+        sim, net, inboxes = self.build()
+        net.partition(1)
+        net.send(0, 1, "lost")
+        net.send(1, 0, "also lost")
+        sim.run()
+        assert inboxes[1] == []
+        assert inboxes[0] == []
+        assert net.dropped_count == 2
+
+    def test_heal_restores_delivery(self):
+        sim, net, inboxes = self.build()
+        net.partition(1)
+        net.heal(1)
+        net.send(0, 1, "back")
+        sim.run()
+        assert len(inboxes[1]) == 1
+
+    def test_partition_after_send_drops_at_delivery(self):
+        sim, net, inboxes = self.build()
+        net.send(0, 1, "in-flight")
+        net.partition(1)
+        sim.run()
+        assert inboxes[1] == []
+
+    def test_inject_spurious_bypasses_policy(self):
+        sim, net, inboxes = self.build(policy=FixedDelay(50.0))
+        net.inject_spurious(claimed_sender=2, receiver=0, payload="forged", delay=0.5)
+        sim.run_until(1.0)
+        assert len(inboxes[0]) == 1
+        assert inboxes[0][0].sender == 2  # forged identity accepted pre-coherence
+
+    def test_policy_swap_takes_effect(self):
+        sim, net, inboxes = self.build(policy=FixedDelay(10.0))
+        net.set_policy(FixedDelay(0.1))
+        net.send(0, 1, "fast")
+        sim.run()
+        assert inboxes[1][0].delivered_at == pytest.approx(0.1)
+
+    def test_drop_policy_counts(self):
+        sim, net, inboxes = self.build(policy=IncoherentDelivery(1.0, 0.0))
+        net.send(0, 1, "gone")
+        sim.run()
+        assert inboxes[1] == []
+        assert net.dropped_count == 1
+
+    def test_node_ids_sorted(self):
+        _sim, net, _ = self.build()
+        assert net.node_ids == [0, 1, 2]
+
+
+class TestDeliveryBound:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_policy_respects_delta(self, seed):
+        """Every delivered message arrives within the configured bound."""
+        sim = Simulator()
+        delta = 1.0
+        net = Network(sim, UniformDelay(0.0, delta), RandomSource(seed), Tracer())
+        arrivals = []
+        net.register(0, lambda env: arrivals.append(env))
+        net.register(1, lambda env: arrivals.append(env))
+        for _ in range(20):
+            net.send(0, 1, "x")
+        sim.run()
+        assert all(
+            env.delivered_at - env.sent_at <= delta + 1e-12 for env in arrivals
+        )

@@ -1,0 +1,204 @@
+"""The paper's Section 6 proof machinery, lemma by lemma, as scenario tests.
+
+These tests target the *intermediate* claims the proofs rest on, not just
+the end-to-end theorems -- the places where an implementation subtly
+diverging from the paper would first show up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.initiator_accept import InitiatorAccept
+from repro.core.messages import ApproveMsg, ReadyMsg, SupportMsg
+from repro.core.params import ProtocolParams
+from repro.harness import metrics, properties
+from repro.harness.scenario import Cluster, ScenarioConfig
+
+from tests.conftest import make_cluster, run_agreement
+from tests.helpers import FakeHost
+
+G = 9
+
+
+@pytest.fixture
+def params7() -> ProtocolParams:
+    return ProtocolParams(n=7, f=2, delta=1.0, rho=0.0)
+
+
+def drain(host, ia, duration, step):
+    for _ in range(int(duration / step) + 1):
+        host.advance(step)
+        ia.cleanup()
+
+
+class TestClaim1:
+    """Claim 1: after Delta_reset of General silence, state is fresh and a
+    new initiation succeeds at every correct node."""
+
+    def test_fresh_after_delta_reset_silence(self, params7):
+        host = FakeHost(params7)
+        accepts = []
+        ia = InitiatorAccept(host, G, lambda v, t: accepts.append(v))
+        # Garbage phase: partial waves for several values.
+        for value in ("a", "b"):
+            for sender in (1, 2, 3, 4, 5):
+                ia.on_message(SupportMsg(G, value), sender)
+                ia.on_message(ApproveMsg(G, value), sender)
+        drain(host, ia, params7.delta_reset, params7.d)
+        # Data structure must now be fresh for any value (Definition 8).
+        assert ia.invoke("c") is True
+
+    def test_k1_succeeds_at_all_correct_nodes_after_quiet_period(self, params7):
+        cluster = make_cluster(ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4), seed=1)
+        cluster.run_for(cluster.params.delta_reset)
+        k1_fails_before = cluster.tracer.count("ia_k1_rejected")
+        assert cluster.propose(general=0, value="m")
+        cluster.run_for(5 * cluster.params.d)
+        assert cluster.tracer.count("ia_k1_rejected") == k1_fails_before
+
+
+class TestClaim2And3:
+    """Claims 2/3 (via Corollaries 3/4): two correct nodes executing
+    Line M2/M4 for the same (G, m) do so within a small window of each
+    other, or more than 2 Delta_rmv apart."""
+
+    def _m_execution_times(self, cluster, general, value, line):
+        events = []
+        for node_id in cluster.correct_ids:
+            inst = cluster.protocol_node(node_id).instance(general)
+            stamp = inst.ia.line_exec.get((line, value))
+            if stamp is not None:
+                node = cluster.protocol_node(node_id)
+                events.append(node.clock.real_at_local(stamp))
+        return events
+
+    def test_m2_executions_cluster_tightly(self, params7):
+        cluster = make_cluster(ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4), seed=2)
+        cluster.propose(general=0, value="m")
+        cluster.run_for(4 * cluster.params.d)  # before the +3d post-return reset
+        times = self._m_execution_times(cluster, 0, "m", "M2")
+        assert len(times) == len(cluster.correct_ids)
+        assert max(times) - min(times) <= 9 * cluster.params.d  # Corollary 3
+
+    def test_m4_executions_cluster_tightly(self, params7):
+        cluster = make_cluster(ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4), seed=3)
+        cluster.propose(general=0, value="m")
+        cluster.run_for(4 * cluster.params.d)  # before the +3d post-return reset
+        times = self._m_execution_times(cluster, 0, "m", "M4")
+        assert len(times) == len(cluster.correct_ids)
+        assert max(times) - min(times) <= 7 * cluster.params.d  # Corollary 4
+
+
+class TestClaim4:
+    """Claim 4: with no recent M2/M4 executions, ready waves die out --
+    planted ready evidence cannot produce N2/N4 executions."""
+
+    def test_ready_wave_without_m_executions_dies(self, params7):
+        host = FakeHost(params7)
+        accepts = []
+        ia = InitiatorAccept(host, G, lambda v, t: accepts.append(v))
+        # Arm the flag and plant a sub-quorum of ready messages, then let
+        # the arming decay with no approve traffic at all.
+        for sender in (1, 2, 3):
+            ia.on_message(ApproveMsg(G, "m"), sender)
+        drain(host, ia, params7.delta_rmv + params7.d, params7.d)
+        # Flag decayed; now a full forged ready quorum arrives.
+        for sender in (1, 2, 3, 4, 5):
+            ia.on_message(ReadyMsg(G, "m"), sender)
+        assert accepts == []
+
+
+class TestClaim5:
+    """Claim 5: any recording time in i_values is backed by a support sent
+    by a correct node no earlier than the recording."""
+
+    def test_recording_time_backed_by_real_support(self, params7):
+        cluster = make_cluster(ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4), seed=4)
+        t0 = cluster.sim.now
+        cluster.propose(general=0, value="m")
+        cluster.run_for(6 * cluster.params.d)
+        first_support = cluster.tracer.first(
+            "ia_support_sent", lambda ev: ev.detail.get("general") == 0
+        )
+        assert first_support is not None
+        for node_id, _t, _m, anchor_real in metrics.i_accept_events(cluster, 0):
+            # The anchor precedes (or equals, minus d slack) some correct
+            # support sending time.
+            assert anchor_real <= first_support.real_time + cluster.params.d
+
+
+class TestLemma7And8:
+    """Lemmas 7/8: deciders and aborters cannot coexist across the round
+    boundary -- over many adversarial runs, never both a decide and an
+    abort for the same (G, m)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_no_decide_abort_mix(self, seed):
+        from repro.faults.byzantine import (
+            EquivocatingGeneralStrategy,
+            TwoFacedParticipantStrategy,
+        )
+
+        params = ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4)
+        byz = {
+            0: EquivocatingGeneralStrategy("A", "B", (1, 2, 3), (4, 5)),
+            6: TwoFacedParticipantStrategy((1, 2, 3)),
+        }
+        cluster = make_cluster(params, seed=seed, byzantine=byz)
+        cluster.run_for(3 * params.delta_agr)
+        latest = cluster.latest_decision_per_node(0)
+        deciders = {n for n, d in latest.items() if d.decided}
+        if deciders:
+            # Lemma 8: if anyone decides, *everyone* decides (same value).
+            assert deciders == set(cluster.correct_ids)
+
+
+class TestCorollary6:
+    """Corollary 6: a node that is non-faulty for Delta_node becomes
+    correct -- a recovered (resumed) node participates correctly in the
+    next agreement."""
+
+    def test_resumed_node_rejoins(self, params7):
+        params = ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4)
+        cluster = make_cluster(params, seed=5)
+        victim = cluster.protocol_node(3)
+        victim.crash()
+        run_agreement(cluster, general=0, value="while-down")
+        # Victim missed the agreement entirely.
+        assert not any(d.node == 3 for d in cluster.decisions(0))
+        victim.resume()
+        victim.every_local(params.d, victim._cleanup_tick)  # timers were dead
+        cluster.run_for(params.delta_node)
+        node0 = cluster.protocol_node(0)
+        while not node0.may_propose("after-recovery"):
+            cluster.run_for(params.d)
+        since = cluster.sim.now
+        run_agreement(cluster, general=0, value="after-recovery")
+        latest = cluster.latest_decision_per_node(0, since_real=since)
+        assert latest[3].value == "after-recovery"
+        properties.agreement(cluster, 0, since_real=since).expect()
+
+
+class TestTimelinessProperty1:
+    """Timeliness-1 details (a)-(d) under a correct General, many seeds."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bounds(self, seed):
+        params = ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4)
+        cluster = make_cluster(params, seed=seed)
+        t0 = run_agreement(cluster, general=0, value="v")
+        decided = list(cluster.latest_decision_per_node(0).values())
+        # (a) with validity: spread <= 2d.
+        spread = metrics.decision_spread_real(decided)
+        assert spread is not None and spread <= 2 * params.d
+        # (b) anchors within 6d.
+        anchors = metrics.anchor_spread_real(decided)
+        assert anchors is not None and anchors <= 6 * params.d
+        # (c) anchors within [t1 - 2d, t2] of the invocation interval.
+        for dec in decided:
+            assert t0 - 2 * params.d <= dec.tau_g_real <= t0 + 2 * params.d
+        # (d) anchor precedes decision, gap <= Delta_agr.
+        for dec in decided:
+            assert dec.tau_g_real <= dec.returned_real
+            assert dec.returned_real - dec.tau_g_real <= params.delta_agr

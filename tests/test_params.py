@@ -1,0 +1,174 @@
+"""Unit tests for the timing-constant algebra (paper Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import BOTTOM, ProtocolParams, max_faults
+
+
+class TestValidation:
+    def test_minimal_legal(self):
+        params = ProtocolParams(n=4, f=1)
+        assert params.n == 4
+
+    def test_resilience_bound_enforced(self):
+        with pytest.raises(ValueError):
+            ProtocolParams(n=3, f=1)
+        with pytest.raises(ValueError):
+            ProtocolParams(n=6, f=2)
+
+    def test_boundary_exactly_3f_plus_1(self):
+        ProtocolParams(n=7, f=2)  # 7 > 6 ok
+        with pytest.raises(ValueError):
+            ProtocolParams(n=9, f=3)  # 9 > 9 false
+
+    def test_f_zero_allowed(self):
+        assert ProtocolParams(n=1, f=0).strong_quorum == 1
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolParams(n=4, f=-1)
+
+    def test_delta_positive(self):
+        with pytest.raises(ValueError):
+            ProtocolParams(n=4, f=1, delta=0.0)
+
+    def test_pi_nonnegative(self):
+        with pytest.raises(ValueError):
+            ProtocolParams(n=4, f=1, pi=-0.1)
+
+    def test_rho_range(self):
+        with pytest.raises(ValueError):
+            ProtocolParams(n=4, f=1, rho=1.0)
+        with pytest.raises(ValueError):
+            ProtocolParams(n=4, f=1, rho=-0.1)
+
+
+class TestDerivedConstants:
+    """Every constant exactly as defined in the paper's Section 3."""
+
+    def params(self) -> ProtocolParams:
+        return ProtocolParams(n=7, f=2, delta=1.0, pi=0.0, rho=0.0)
+
+    def test_d(self):
+        assert self.params().d == 1.0
+        assert ProtocolParams(n=4, f=1, delta=2.0, pi=0.5, rho=0.1).d == pytest.approx(
+            2.75
+        )
+
+    def test_tau_skew_is_6d(self):
+        assert self.params().tau_skew == 6.0
+
+    def test_phi_is_8d(self):
+        assert self.params().phi == 8.0
+
+    def test_delta_agr(self):
+        assert self.params().delta_agr == (2 * 2 + 1) * 8.0  # 40
+
+    def test_delta_0(self):
+        assert self.params().delta_0 == 13.0
+
+    def test_delta_rmv(self):
+        assert self.params().delta_rmv == 53.0
+
+    def test_delta_v(self):
+        assert self.params().delta_v == 15.0 + 2 * 53.0  # 121
+
+    def test_delta_node(self):
+        assert self.params().delta_node == 121.0 + 40.0
+
+    def test_delta_reset(self):
+        assert self.params().delta_reset == 20.0 + 4 * 53.0  # 232
+
+    def test_delta_stb(self):
+        assert self.params().delta_stb == 464.0
+
+    def test_quorums(self):
+        p = self.params()
+        assert p.weak_quorum == 3  # n - 2f
+        assert p.strong_quorum == 5  # n - f
+
+    def test_weak_quorum_exceeds_f(self):
+        """n - 2f >= f + 1 ensures a correct member in every weak quorum."""
+        for n in range(4, 30):
+            p = ProtocolParams(n=n, f=max_faults(n))
+            assert p.weak_quorum >= p.f + 1
+
+    def test_round_deadline(self):
+        p = self.params()
+        assert p.round_deadline(0) == p.phi
+        assert p.round_deadline(p.f) == p.delta_agr
+
+    def test_with_faults(self):
+        p = self.params().with_faults(1)
+        assert p.f == 1
+        assert p.n == 7
+
+    def test_describe_contains_everything(self):
+        desc = self.params().describe()
+        for key in ("d", "phi", "delta_agr", "delta_stb", "delta_v"):
+            assert key in desc
+
+
+class TestOrderingInvariants:
+    """Inequalities the proofs rely on, for every legal configuration."""
+
+    @given(
+        n=st.integers(min_value=4, max_value=40),
+        delta=st.floats(min_value=0.01, max_value=100.0),
+        rho=st.floats(min_value=0.0, max_value=0.01),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_constant_ordering(self, n, delta, rho):
+        params = ProtocolParams(n=n, f=max_faults(n), delta=delta, rho=rho)
+        d = params.d
+        # Claim 1's arithmetic: last(G, m) horizon fits inside Delta_reset.
+        assert 19 * d + 4 * params.delta_rmv <= params.delta_reset
+        # Delta_v leaves room past the last(G, m) expiry (2 Delta_rmv + 9d).
+        assert params.delta_v > 2 * params.delta_rmv + 9 * d
+        # Delta_0 exceeds the K-block re-send guard window.
+        assert params.delta_0 > 6 * d
+        # Phases are long enough for a full exchange round (>= 2d).
+        assert params.phi >= 2 * d
+        # Stabilization dominates every other constant.
+        for value in (params.delta_agr, params.delta_rmv, params.delta_v):
+            assert params.delta_stb > value
+
+
+class TestBottom:
+    def test_singleton(self):
+        from repro.core.params import _Bottom
+
+        assert _Bottom() is BOTTOM
+
+    def test_falsy(self):
+        assert not BOTTOM
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "BOTTOM"
+
+    def test_distinct_from_none(self):
+        assert BOTTOM is not None
+
+
+class TestMaxFaults:
+    def test_values(self):
+        assert max_faults(4) == 1
+        assert max_faults(6) == 1
+        assert max_faults(7) == 2
+        assert max_faults(10) == 3
+        assert max_faults(13) == 4
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            max_faults(3)
+
+    @given(n=st.integers(min_value=4, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_always_satisfies_bound(self, n):
+        f = max_faults(n)
+        assert n > 3 * f
+        assert n <= 3 * (f + 1)

@@ -1,0 +1,122 @@
+"""Randomized end-to-end property tests: the theorems over sampled runs.
+
+Hypothesis drives seeds, topology sizes, delay regimes and adversary
+choices; the paper's properties are asserted on every sampled execution.
+These are the closest thing to the proofs' "for all executions" quantifier
+the simulation can offer.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import ProtocolParams, max_faults
+from repro.faults.byzantine import (
+    CrashStrategy,
+    EquivocatingGeneralStrategy,
+    MirrorParticipantStrategy,
+    SelectiveGeneralStrategy,
+    StaggeredGeneralStrategy,
+    TwoFacedParticipantStrategy,
+)
+from repro.harness import properties
+from repro.harness.scenario import Cluster, ScenarioConfig
+from repro.net.delivery import UniformDelay
+
+COMMON = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestValidityUniverse:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.sampled_from([4, 5, 6, 7, 8, 10]),
+        delay_frac=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(**COMMON)
+    def test_correct_general_always_wins(self, seed, n, delay_frac):
+        params = ProtocolParams(n=n, f=max_faults(n), delta=1.0, rho=1e-4)
+        policy = UniformDelay(0.02, max(0.05, delay_frac * params.delta))
+        cluster = Cluster(ScenarioConfig(params=params, seed=seed, policy=policy))
+        t0 = cluster.sim.now
+        assert cluster.propose(general=0, value="v")
+        cluster.run_for(params.delta_agr + 10 * params.d)
+        properties.validity(cluster, 0, "v").expect()
+        properties.timeliness_validity(cluster, 0, t0).expect()
+        properties.check_all_stable(cluster, 0)
+        for report in properties.check_all_stable(cluster, 0):
+            report.expect()
+
+
+class TestAgreementUniverse:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        attack=st.sampled_from(["equivocate", "stagger", "selective"]),
+        spread_d=st.floats(min_value=0.0, max_value=30.0),
+        helper=st.sampled_from(["none", "mirror", "twofaced"]),
+    )
+    @settings(**COMMON)
+    def test_byzantine_general_never_splits(self, seed, attack, spread_d, helper):
+        params = ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4)
+        if attack == "equivocate":
+            general = EquivocatingGeneralStrategy("A", "B", (1, 2, 3), (4, 5))
+        elif attack == "stagger":
+            general = StaggeredGeneralStrategy("S", spread_local=spread_d * params.d)
+        else:
+            general = SelectiveGeneralStrategy("X", (1, 2, 3, 4))
+        byzantine: dict = {0: general}
+        if helper == "mirror":
+            byzantine[6] = MirrorParticipantStrategy()
+        elif helper == "twofaced":
+            byzantine[6] = TwoFacedParticipantStrategy((1, 2, 3))
+        cluster = Cluster(
+            ScenarioConfig(params=params, seed=seed, byzantine=byzantine)
+        )
+        cluster.run_for(3 * params.delta_agr)
+        properties.agreement(cluster, 0).expect()
+        properties.separation(cluster, 0).expect()
+        properties.ia_relay(cluster, 0).expect()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        crashes=st.integers(min_value=0, max_value=2),
+    )
+    @settings(**COMMON)
+    def test_crash_faults_never_block(self, seed, crashes):
+        params = ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4)
+        byzantine = {6 - i: CrashStrategy() for i in range(crashes)}
+        cluster = Cluster(
+            ScenarioConfig(params=params, seed=seed, byzantine=byzantine)
+        )
+        assert cluster.propose(general=0, value="v")
+        cluster.run_for(params.delta_agr + 10 * params.d)
+        properties.validity(cluster, 0, "v").expect()
+
+
+class TestStabilizationUniverse:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_always_recovers_from_havoc(self, seed):
+        from repro.faults.transient import TransientFaultInjector
+
+        params = ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4)
+        cluster = Cluster(ScenarioConfig(params=params, seed=seed))
+        injector = TransientFaultInjector(
+            params,
+            cluster.rng.split("inj"),
+            value_pool=["A", "B", "C"],
+            generals=[0, 1],
+        )
+        cluster.run_for(3 * params.d)
+        injector.havoc(cluster.correct_nodes(), cluster.net, garbage_messages=250)
+        cluster.run_for(params.delta_stb)
+        since = cluster.sim.now
+        assert cluster.propose(general=0, value="recovered")
+        cluster.run_for(params.delta_agr + 10 * params.d)
+        properties.validity(cluster, 0, "recovered", since_real=since).expect()

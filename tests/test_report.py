@@ -1,0 +1,90 @@
+"""Tests for the report/timeline rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.harness.report import (
+    decision_table,
+    rows_to_csv,
+    rows_to_markdown,
+    timeline,
+)
+from repro.harness.scenario import Cluster, ScenarioConfig
+
+from tests.conftest import make_cluster, run_agreement
+
+
+@pytest.fixture
+def params4() -> ProtocolParams:
+    return ProtocolParams(n=4, f=1, delta=1.0, rho=1e-4)
+
+
+ROWS = [
+    {"n": 4, "latency": 2.4444, "ok": True},
+    {"n": 7, "latency": 2.5, "ok": True},
+]
+
+
+class TestMarkdown:
+    def test_header_and_rows(self):
+        text = rows_to_markdown(ROWS, title="demo")
+        assert "### demo" in text
+        assert "| n | latency | ok |" in text
+        assert "| 4 | 2.444 | True |" in text
+        assert text.count("\n") >= 5
+
+    def test_empty(self):
+        assert "no rows" in rows_to_markdown([], title="x")
+
+    def test_missing_column_blank(self):
+        text = rows_to_markdown([{"a": 1}, {"b": 2}])
+        assert "|  |" in text  # second row has no "a"
+
+
+class TestCsv:
+    def test_round_trippable_shape(self):
+        text = rows_to_csv(ROWS)
+        lines = text.strip().split("\n")
+        assert lines[0] == "n,latency,ok"
+        assert lines[1] == "4,2.444,True"
+        assert len(lines) == 3
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+
+class TestTimeline:
+    def test_contains_protocol_milestones(self, params4):
+        cluster = make_cluster(params4, seed=1)
+        run_agreement(cluster, general=0, value="v")
+        text = timeline(cluster)
+        assert "propose" in text
+        assert "i_accept" in text
+        assert "decide" in text
+        # Every line starts with a timestamp column.
+        for line in text.splitlines():
+            float(line.split()[0])  # must parse
+
+    def test_node_filter(self, params4):
+        cluster = make_cluster(params4, seed=2)
+        run_agreement(cluster, general=0, value="v")
+        text = timeline(cluster, node=1)
+        assert all(" n1  " in line for line in text.splitlines())
+
+    def test_limit_truncates(self, params4):
+        cluster = make_cluster(params4, seed=3)
+        run_agreement(cluster, general=0, value="v")
+        text = timeline(cluster, limit=2)
+        assert "truncated" in text
+        assert len(text.splitlines()) == 3
+
+
+class TestDecisionTable:
+    def test_one_row_per_correct_node(self, params4):
+        cluster = make_cluster(params4, seed=4)
+        run_agreement(cluster, general=0, value="v")
+        text = decision_table(cluster, 0)
+        assert "Decisions for General 0" in text
+        assert text.count("'v'") == len(cluster.correct_ids)

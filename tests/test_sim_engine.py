@@ -1,0 +1,222 @@
+"""Unit tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=42.5).now == 42.5
+
+    def test_schedule_at_runs_at_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(3.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.0]
+
+    def test_schedule_in_relative(self):
+        sim = Simulator(start_time=10.0)
+        seen = []
+        sim.schedule_in(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.5]
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.9, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+    def test_zero_delay_ok(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_in(0.0, lambda: seen.append(True))
+        sim.run()
+        assert seen == [True]
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(3.0, lambda: seen.append(3))
+        sim.schedule_at(1.0, lambda: seen.append(1))
+        sim.schedule_at(2.0, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1, 2, 3]
+
+    def test_ties_broken_by_scheduling_order(self):
+        sim = Simulator()
+        seen = []
+        for i in range(10):
+            sim.schedule_at(1.0, lambda i=i: seen.append(i))
+        sim.run()
+        assert seen == list(range(10))
+
+    def test_event_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth: int) -> None:
+            seen.append(depth)
+            if depth < 5:
+                sim.schedule_in(1.0, lambda: chain(depth + 1))
+
+        sim.schedule_in(0.0, lambda: chain(0))
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4, 5]
+        assert sim.now == 5.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule_at(1.0, lambda: seen.append(True))
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule_at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        seen = []
+        keep = sim.schedule_at(1.0, lambda: seen.append("keep"))
+        drop = sim.schedule_at(1.0, lambda: seen.append("drop"))
+        drop.cancel()
+        sim.run()
+        assert seen == ["keep"]
+        assert not keep.cancelled
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        handle = sim.schedule_at(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.0, lambda: seen.append(1))
+        sim.schedule_at(5.0, lambda: seen.append(5))
+        sim.run_until(3.0)
+        assert seen == [1]
+        assert sim.now == 3.0
+
+    def test_run_until_leaves_future_events_queued(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(5))
+        sim.run_until(3.0)
+        sim.run()
+        assert seen == [5]
+
+    def test_run_until_inclusive_of_boundary(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(3.0, lambda: seen.append(3))
+        sim.run_until(3.0)
+        assert seen == [3]
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        seen = []
+        for i in range(10):
+            sim.schedule_at(float(i), lambda i=i: seen.append(i))
+        executed = sim.run(max_events=4)
+        assert executed == 4
+        assert seen == [0, 1, 2, 3]
+
+    def test_step_single_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.0, lambda: seen.append(1))
+        sim.schedule_at(2.0, lambda: seen.append(2))
+        assert sim.step() is True
+        assert seen == [1]
+
+    def test_step_empty_returns_false(self):
+        assert Simulator().step() is False
+
+    def test_stop_from_within_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.0, lambda: (seen.append(1), sim.stop()))
+        sim.schedule_at(2.0, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1]
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def recurse() -> None:
+            sim.run()
+
+        sim.schedule_at(1.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_executed == 7
+
+    def test_run_until_advances_now_even_with_no_events(self):
+        sim = Simulator()
+        sim.run_until(9.0)
+        assert sim.now == 9.0
+
+
+class TestPropertyBased:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_execution_order_is_sorted_by_time(self, times):
+        sim = Simulator()
+        seen = []
+        for t in times:
+            sim.schedule_at(t, lambda t=t: seen.append(t))
+        sim.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(times)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0, max_value=100), st.booleans()),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cancellation_subset(self, spec):
+        sim = Simulator()
+        seen = []
+        expected = []
+        for t, keep in spec:
+            handle = sim.schedule_at(t, lambda t=t: seen.append(t))
+            if keep:
+                expected.append(t)
+            else:
+                handle.cancel()
+        sim.run()
+        assert sorted(seen) == sorted(expected)

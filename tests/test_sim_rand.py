@@ -1,0 +1,79 @@
+"""Unit tests for deterministic split randomness."""
+
+from __future__ import annotations
+
+from repro.sim.rand import RandomSource
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(42)
+        b = RandomSource(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seed_different_stream(self):
+        a = RandomSource(1)
+        b = RandomSource(2)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_split_is_deterministic(self):
+        a = RandomSource(7).split("net")
+        b = RandomSource(7).split("net")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_split_children_independent_of_sibling_consumption(self):
+        """Adding a consumer must not perturb other streams."""
+        root1 = RandomSource(9)
+        net1 = root1.split("net")
+        draws_before = [net1.random() for _ in range(5)]
+
+        root2 = RandomSource(9)
+        other = root2.split("clock")  # new consumer
+        _ = [other.random() for _ in range(100)]
+        net2 = root2.split("net")
+        assert draws_before == [net2.random() for _ in range(5)]
+
+    def test_nested_split_paths_differ(self):
+        root = RandomSource(3)
+        a = root.split("x").split("y")
+        b = root.split("x/y")  # same flattened string, different path object
+        assert a.path == "root/x/y"
+        # Identical paths produce identical streams; this *is* the same path.
+        assert [a.random() for _ in range(3)] == [b.random() for _ in range(3)]
+
+
+class TestDraws:
+    def test_uniform_in_range(self):
+        rng = RandomSource(5)
+        for _ in range(100):
+            x = rng.uniform(2.0, 3.0)
+            assert 2.0 <= x <= 3.0
+
+    def test_randint_inclusive(self):
+        rng = RandomSource(5)
+        values = {rng.randint(0, 3) for _ in range(200)}
+        assert values == {0, 1, 2, 3}
+
+    def test_chance_extremes(self):
+        rng = RandomSource(5)
+        assert all(rng.chance(1.0) for _ in range(20))
+        assert not any(rng.chance(0.0) for _ in range(20))
+
+    def test_choice_and_sample(self):
+        rng = RandomSource(5)
+        items = ["a", "b", "c", "d"]
+        assert rng.choice(items) in items
+        picked = rng.sample(items, 2)
+        assert len(picked) == 2
+        assert len(set(picked)) == 2
+
+    def test_shuffled_does_not_mutate(self):
+        rng = RandomSource(5)
+        items = [1, 2, 3, 4, 5]
+        out = rng.shuffled(items)
+        assert items == [1, 2, 3, 4, 5]
+        assert sorted(out) == items
+
+    def test_gauss_returns_float(self):
+        rng = RandomSource(5)
+        assert isinstance(rng.gauss(0.0, 1.0), float)

@@ -1,0 +1,80 @@
+"""Unit tests for the structured tracer."""
+
+from __future__ import annotations
+
+from repro.sim.trace import TraceEvent, Tracer
+
+
+class TestRecording:
+    def test_record_and_read_back(self):
+        tracer = Tracer()
+        tracer.record(1.0, 3, "send", receiver=5)
+        assert len(tracer) == 1
+        ev = tracer.events[0]
+        assert ev.real_time == 1.0
+        assert ev.node == 3
+        assert ev.kind == "send"
+        assert ev.detail == {"receiver": 5}
+
+    def test_local_time_recorded(self):
+        tracer = Tracer()
+        tracer.record(1.0, 3, "decide", local_time=42.0)
+        assert tracer.events[0].local_time == 42.0
+
+    def test_disabled_tracer_keeps_counts_only(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(1.0, 3, "send")
+        tracer.record(2.0, 4, "send")
+        assert len(tracer) == 0
+        assert tracer.count("send") == 2
+
+    def test_counts_by_kind(self):
+        tracer = Tracer()
+        for _ in range(3):
+            tracer.record(0.0, 0, "a")
+        tracer.record(0.0, 0, "b")
+        assert tracer.count("a") == 3
+        assert tracer.count("b") == 1
+        assert tracer.count("missing") == 0
+
+
+class TestQueries:
+    def make(self) -> Tracer:
+        tracer = Tracer()
+        tracer.record(1.0, 0, "send", payload="x")
+        tracer.record(2.0, 1, "deliver", payload="x")
+        tracer.record(3.0, 0, "decide", value="v")
+        tracer.record(4.0, 1, "decide", value="v")
+        return tracer
+
+    def test_of_kind(self):
+        tracer = self.make()
+        assert [ev.real_time for ev in tracer.of_kind("decide")] == [3.0, 4.0]
+
+    def test_by_node(self):
+        tracer = self.make()
+        assert [ev.kind for ev in tracer.by_node(0)] == ["send", "decide"]
+
+    def test_filter(self):
+        tracer = self.make()
+        late = tracer.filter(lambda ev: ev.real_time >= 3.0)
+        assert len(late) == 2
+
+    def test_first(self):
+        tracer = self.make()
+        assert tracer.first("decide").node == 0
+        assert tracer.first("decide", lambda ev: ev.node == 1).real_time == 4.0
+        assert tracer.first("nothing") is None
+
+    def test_iteration(self):
+        tracer = self.make()
+        assert len(list(tracer)) == 4
+
+    def test_events_are_frozen(self):
+        ev = TraceEvent(real_time=0.0, node=None, kind="x")
+        try:
+            ev.kind = "y"  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

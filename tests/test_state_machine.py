@@ -1,0 +1,117 @@
+"""Tests for the replicated-state-machine extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.extensions.state_machine import Replica, ReplicatedStateMachine
+from repro.faults.byzantine import CrashStrategy, MirrorParticipantStrategy
+from repro.harness.scenario import Cluster, ScenarioConfig
+
+
+@pytest.fixture
+def params7() -> ProtocolParams:
+    return ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4)
+
+
+class TestReplication:
+    def test_batch_applies_in_order_everywhere(self, params7):
+        cluster = Cluster(ScenarioConfig(params=params7, seed=1))
+        rsm = ReplicatedStateMachine(cluster, primary=0)
+        commands = [f"cmd{i}" for i in range(6)]
+        indexes = rsm.submit_batch(commands)
+        assert indexes == list(range(6))
+        cluster.run_for(params7.delta_agr + 10 * params7.d)
+        logs = rsm.logs()
+        assert all(log == commands for log in logs.values())
+        assert rsm.logs_consistent()
+
+    def test_with_crashed_and_byzantine_replicas(self, params7):
+        cluster = Cluster(
+            ScenarioConfig(
+                params=params7,
+                seed=2,
+                byzantine={5: CrashStrategy(), 6: MirrorParticipantStrategy()},
+            )
+        )
+        rsm = ReplicatedStateMachine(cluster, primary=0)
+        commands = ["a", "b", "c", "d"]
+        rsm.submit_batch(commands)
+        cluster.run_for(params7.delta_agr + 10 * params7.d)
+        assert all(log == commands for log in rsm.logs().values())
+
+    def test_out_of_order_decisions_buffered(self, params7):
+        """A replica built after submission still applies in index order."""
+        cluster = Cluster(ScenarioConfig(params=params7, seed=3))
+        rsm = ReplicatedStateMachine(cluster, primary=0)
+        applied_order: list[int] = []
+        victim = rsm.replicas[3]
+        victim.on_apply = lambda index, _value: applied_order.append(index)
+        rsm.submit_batch(["x", "y", "z"])
+        cluster.run_for(params7.delta_agr + 10 * params7.d)
+        assert applied_order == [0, 1, 2]
+        assert victim.gap is None
+
+    def test_gap_reported_while_waiting(self, params7):
+        cluster = Cluster(ScenarioConfig(params=params7, seed=4))
+        node = cluster.protocol_node(1)
+        replica = Replica(node, primary=0)
+        # Hand-feed a decision for index 2 only.
+        from repro.core.agreement import Decision
+
+        replica._on_decision(
+            Decision(
+                node=1,
+                general=(0, 2),
+                value="late",
+                tau_g_local=0.0,
+                tau_g_real=0.0,
+                returned_local=1.0,
+                returned_real=1.0,
+            )
+        )
+        assert replica.log == []
+        assert replica.gap == 0
+
+    def test_duplicate_decisions_ignored(self, params7):
+        cluster = Cluster(ScenarioConfig(params=params7, seed=5))
+        replica = Replica(cluster.protocol_node(1), primary=0)
+        from repro.core.agreement import Decision
+
+        dec = Decision(
+            node=1,
+            general=(0, 0),
+            value="once",
+            tau_g_local=0.0,
+            tau_g_real=0.0,
+            returned_local=1.0,
+            returned_real=1.0,
+        )
+        replica._on_decision(dec)
+        replica._on_decision(dec)
+        assert replica.log == ["once"]
+
+    def test_preserves_prior_decision_callback(self, params7):
+        cluster = Cluster(ScenarioConfig(params=params7, seed=6))
+        node = cluster.protocol_node(2)
+        seen = []
+        node.on_decision = lambda dec: seen.append(dec.value)
+        ReplicatedStateMachine(cluster, primary=0).submit("hello")
+        cluster.run_for(params7.delta_agr + 10 * params7.d)
+        assert "hello" in seen
+
+
+class TestConsistencyChecker:
+    def test_prefix_consistency(self, params7):
+        cluster = Cluster(ScenarioConfig(params=params7, seed=7))
+        rsm = ReplicatedStateMachine(cluster, primary=0)
+        rsm.submit_batch(["a", "b"])
+        cluster.run_for(params7.delta_agr + 10 * params7.d)
+        # Truncate one replica's view to simulate an observer lag.
+        some_replica = next(iter(rsm.replicas.values()))
+        some_replica.applied = some_replica.applied[:1]
+        assert rsm.logs_consistent()
+        # A *divergent* log is flagged.
+        some_replica.applied = [(0, "WRONG")]
+        assert not rsm.logs_consistent()
