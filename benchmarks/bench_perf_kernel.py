@@ -1,0 +1,238 @@
+"""Kernel micro-benchmarks for the simulation fast path.
+
+Three layers get a dedicated throughput number, recorded to
+``BENCH_perf.json`` (see ``benchmarks/conftest.py``):
+
+* ``msglog`` -- the condition-driven window-query path, measured head to
+  head against the naive :class:`~repro.node.msglog_ref.ReferenceMessageLog`
+  (the pre-fast-path implementation).  The incremental log must win by at
+  least 3x on the window-query workload; this is the acceptance gate for
+  the fast-path rewrite and the regression tripwire for future PRs.
+* ``broadcast`` -- Network.broadcast + delivery dispatch rate.
+* ``events`` -- raw Simulator schedule/execute/cancel throughput.
+
+A miniature E9 end-to-end run rides along so BENCH_perf.json always has a
+whole-pipeline number even when only this file is benchmarked (the full
+``bench_e9_scaling`` refreshes the big configuration).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.harness.experiments import run_e9_scaling
+from repro.net.delivery import FixedDelay
+from repro.net.network import Network
+from repro.node.msglog import MessageLog
+from repro.node.msglog_ref import ReferenceMessageLog
+from repro.sim.engine import Simulator
+from repro.sim.rand import RandomSource
+
+from benchmarks.conftest import print_rows, record_bench_result
+
+# ---------------------------------------------------------------------------
+# msglog window queries: incremental vs naive reference
+# ---------------------------------------------------------------------------
+KEY = ("support", 0, "m1")
+N_SENDERS = 40
+ARRIVALS_PER_SENDER = 60
+N_QUERIES = 1000
+WINDOW = 3.0
+
+
+def _fill(log) -> None:
+    # Interleave senders along the time axis, the way rounds arrive.
+    t = 0.0
+    for wave in range(ARRIVALS_PER_SENDER):
+        for sender in range(N_SENDERS):
+            log.add(KEY, sender, t)
+            t += 0.01
+    # A sprinkle of out-of-order corruption records.
+    for sender in range(0, N_SENDERS, 7):
+        log.corrupt_insert(KEY, sender, 0.5 * t)
+
+
+def _window_queries(log) -> int:
+    """The workload under test: sliding count_distinct_in window queries."""
+    horizon = ARRIVALS_PER_SENDER * N_SENDERS * 0.01
+    step = horizon / N_QUERIES
+    checksum = 0
+    t = WINDOW
+    for _ in range(N_QUERIES):
+        checksum += log.count_distinct_in(KEY, t - WINDOW, t)
+        t += step
+    return checksum
+
+
+def _mixed_queries(log) -> int:
+    """Secondary workload: the other hot predicates."""
+    checksum = 0
+    for i in range(N_QUERIES // 4):
+        t = 1.0 + i * 0.07
+        checksum += len(log.distinct_senders_in(KEY, t - WINDOW, t))
+        kth = log.kth_latest_distinct(KEY, 1 + i % N_SENDERS)
+        checksum += 1 if kth is not None else 0
+        earliest = log.earliest_arrival(KEY)
+        checksum += 1 if earliest is not None else 0
+        checksum += len(log.senders(KEY))
+    return checksum
+
+
+def _best_of(fn, repeats: int = 3) -> tuple[float, int]:
+    best = float("inf")
+    result = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_msglog_window_query(benchmark):
+    fast = MessageLog()
+    naive = ReferenceMessageLog()
+    _fill(fast)
+    _fill(naive)
+
+    fast_s, fast_sum = _best_of(lambda: _window_queries(fast))
+    naive_s, naive_sum = _best_of(lambda: _window_queries(naive))
+    assert fast_sum == naive_sum  # same answers, or the speedup is fiction
+
+    mixed_fast_s, mixed_fast_sum = _best_of(lambda: _mixed_queries(fast))
+    mixed_naive_s, mixed_naive_sum = _best_of(lambda: _mixed_queries(naive))
+    assert mixed_fast_sum == mixed_naive_sum
+
+    speedup = naive_s / fast_s
+    rows = [
+        {
+            "workload": "window_query",
+            "queries": N_QUERIES,
+            "records": fast.total_records(),
+            "incremental_s": fast_s,
+            "reference_s": naive_s,
+            "speedup": speedup,
+        },
+        {
+            "workload": "mixed_query",
+            "incremental_s": mixed_fast_s,
+            "reference_s": mixed_naive_s,
+            "speedup": mixed_naive_s / mixed_fast_s,
+        },
+    ]
+    print_rows("PK1: msglog incremental vs reference", rows)
+    record_bench_result(
+        "kernel_msglog_window_query",
+        kind="kernel",
+        queries_per_s=N_QUERIES / fast_s,
+        reference_queries_per_s=N_QUERIES / naive_s,
+        speedup_vs_reference=speedup,
+        mixed_speedup_vs_reference=mixed_naive_s / mixed_fast_s,
+        records=fast.total_records(),
+    )
+
+    benchmark.pedantic(lambda: _window_queries(fast), rounds=3, iterations=1)
+    # Acceptance gate: the incremental log must beat the naive scan >= 3x.
+    assert speedup >= 3.0, f"msglog speedup {speedup:.2f}x < 3x"
+
+
+# ---------------------------------------------------------------------------
+# Network broadcast + delivery dispatch
+# ---------------------------------------------------------------------------
+BCAST_NODES = 50
+BCAST_ROUNDS = 100
+
+
+def _broadcast_run() -> tuple[float, int]:
+    sim = Simulator()
+    net = Network(sim, FixedDelay(0.05), RandomSource(7), tracer=None)
+    for node_id in range(BCAST_NODES):
+        net.register(node_id, _sink)
+    start = time.perf_counter()
+    for i in range(BCAST_ROUNDS):
+        net.broadcast(i % BCAST_NODES, ("payload", i))
+    sim.run()
+    wall = time.perf_counter() - start
+    assert net.delivered_count == BCAST_NODES * BCAST_ROUNDS
+    return wall, net.delivered_count
+
+
+def _sink(envelope) -> None:
+    pass
+
+
+def bench_broadcast_dispatch(benchmark):
+    wall, delivered = _broadcast_run()
+    record_bench_result(
+        "kernel_broadcast_dispatch",
+        kind="kernel",
+        nodes=BCAST_NODES,
+        messages=delivered,
+        messages_per_s=delivered / wall,
+    )
+    print_rows(
+        "PK2: broadcast dispatch",
+        [{"nodes": BCAST_NODES, "messages": delivered, "wall_s": wall}],
+    )
+    benchmark.pedantic(_broadcast_run, rounds=3, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# Raw event kernel throughput (schedule + execute + cancel)
+# ---------------------------------------------------------------------------
+KERNEL_EVENTS = 30000
+
+
+def _noop() -> None:
+    pass
+
+
+def _event_kernel_run() -> tuple[float, int]:
+    sim = Simulator()
+    start = time.perf_counter()
+    handles = [
+        sim.schedule_at(i * 0.001, _noop, tag="k") for i in range(KERNEL_EVENTS)
+    ]
+    for handle in handles[::3]:
+        handle.cancel()  # a third cancelled, as in resend-throttled runs
+    live = sim.pending_events  # O(1) now; this used to be a full scan
+    executed = sim.run()
+    wall = time.perf_counter() - start
+    assert executed == live
+    assert sim.pending_events == 0
+    return wall, executed
+
+
+def bench_event_kernel(benchmark):
+    wall, executed = _event_kernel_run()
+    record_bench_result(
+        "kernel_events",
+        kind="kernel",
+        scheduled=KERNEL_EVENTS,
+        executed=executed,
+        events_per_s=executed / wall,
+    )
+    print_rows(
+        "PK3: event kernel",
+        [{"scheduled": KERNEL_EVENTS, "executed": executed, "wall_s": wall}],
+    )
+    benchmark.pedantic(_event_kernel_run, rounds=3, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# Miniature E9 end-to-end (full pipeline through the fast path)
+# ---------------------------------------------------------------------------
+def bench_e9_small_end_to_end(benchmark):
+    start = time.perf_counter()
+    rows = run_e9_scaling(ns=(4, 7, 10), seeds=range(2))
+    wall = time.perf_counter() - start
+    record_bench_result(
+        "e9_small_end_to_end",
+        kind="end_to_end",
+        ns=[4, 7, 10],
+        seeds=2,
+        wall_s=wall,
+    )
+    print_rows("PK4: E9 (small) end-to-end", rows)
+    benchmark.pedantic(
+        lambda: run_e9_scaling(ns=(4, 7, 10), seeds=range(2)), rounds=1, iterations=1
+    )

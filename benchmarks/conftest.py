@@ -7,11 +7,33 @@ records) and reports wall-clock via pytest-benchmark.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Machine-readable output
+-----------------------
+Every benchmark records its headline numbers through
+:func:`record_bench_result`; at session end the accumulated results are
+written to ``BENCH_perf.json`` at the repo root, together with enough
+machine metadata to compare runs.  ``measure_experiment`` does this
+automatically for the experiment benches (wall seconds per driver), and
+``benchmarks/bench_perf_kernel.py`` adds the kernel micro-benchmarks
+(msglog query throughput, broadcast dispatch rate, raw events/sec).  The
+perf trajectory of the fast path is tracked in that file from PR 1 onward;
+``scripts/bench_smoke.sh`` validates it stays well-formed.
 """
 
 from __future__ import annotations
 
+import time
+from pathlib import Path
 from typing import Callable
+
+from repro.harness.benchrecord import (
+    has_results,
+    record_bench_result,
+    write_bench_json,
+)
+
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
 def print_rows(title: str, rows: list[dict]) -> None:
@@ -28,15 +50,40 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+def _slug(title: str) -> str:
+    """'E9: message complexity ...' -> 'e9_message_complexity_...'."""
+    cleaned = "".join(c if c.isalnum() else "_" for c in title.lower())
+    while "__" in cleaned:
+        cleaned = cleaned.replace("__", "_")
+    return cleaned.strip("_")
+
+
 def measure_experiment(benchmark, fn: Callable[[], list[dict]], title: str) -> list[dict]:
-    """Benchmark an experiment driver with a single timed round and print
-    the rows it produced."""
+    """Benchmark an experiment driver with a single timed round, print the
+    rows it produced, and record wall-clock for BENCH_perf.json."""
     result_holder: dict = {}
 
     def run() -> None:
+        start = time.perf_counter()
         result_holder["rows"] = fn()
+        result_holder["wall_s"] = time.perf_counter() - start
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     rows = result_holder["rows"]
     print_rows(title, rows)
+    record_bench_result(
+        _slug(title),
+        kind="experiment",
+        title=title,
+        wall_s=result_holder["wall_s"],
+        rows=len(rows),
+    )
     return rows
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Emit BENCH_perf.json when any benchmark recorded results."""
+    if not has_results():
+        return
+    count = write_bench_json(BENCH_JSON_PATH)
+    print(f"\nwrote {count} benchmark result(s) to {BENCH_JSON_PATH}")

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Local pre-push gate: tier-1 tests + a ~10 second benchmark smoke run that
+# regenerates BENCH_perf.json from the kernel micro-benchmarks and checks it
+# is well-formed.  Usage:  ./scripts/bench_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo
+echo "== benchmark smoke (kernel micro-benchmarks) =="
+python -m pytest benchmarks/bench_perf_kernel.py --benchmark-only -q
+
+echo
+echo "== validating BENCH_perf.json =="
+python - <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+path = Path("BENCH_perf.json")
+if not path.exists():
+    sys.exit("BENCH_perf.json was not produced")
+data = json.loads(path.read_text())
+
+for field in ("schema", "generated_at", "machine", "results"):
+    if field not in data:
+        sys.exit(f"BENCH_perf.json missing field {field!r}")
+
+results = data["results"]
+required = (
+    "kernel_msglog_window_query",
+    "kernel_broadcast_dispatch",
+    "kernel_events",
+    "e9_small_end_to_end",
+)
+missing = [name for name in required if name not in results]
+if missing:
+    sys.exit(f"BENCH_perf.json missing results: {missing}")
+
+speedup = results["kernel_msglog_window_query"]["speedup_vs_reference"]
+if speedup < 3.0:
+    sys.exit(f"msglog fast path regressed: {speedup:.2f}x < 3x vs reference")
+
+print(f"ok: {len(results)} results; msglog speedup {speedup:.1f}x vs reference")
+EOF
+
+echo
+echo "bench smoke passed"

@@ -10,10 +10,14 @@
   executable checker producing a :class:`~repro.harness.properties.
   PropertyReport`.
 * :mod:`repro.harness.stats` -- aggregation helpers for sweeps.
+* :mod:`repro.harness.parallel` -- process-pool seed fan-out; every
+  experiment driver takes ``workers=`` and routes its per-seed runs
+  through a :class:`~repro.harness.parallel.SeedPool`.
 * :mod:`repro.harness.experiments` -- the E1..E10 experiment drivers that
   the benchmark suite and EXPERIMENTS.md are generated from.
 """
 
+from repro.harness.parallel import SeedPool, run_seeds_parallel
 from repro.harness.metrics import (
     anchor_spread_real,
     decision_latencies,
@@ -28,9 +32,11 @@ __all__ = [
     "Cluster",
     "PropertyReport",
     "ScenarioConfig",
+    "SeedPool",
     "anchor_spread_real",
     "decision_latencies",
     "decision_spread_real",
     "message_stats",
+    "run_seeds_parallel",
     "summarize",
 ]

@@ -1,0 +1,77 @@
+"""Machine-readable benchmark result registry.
+
+The benchmark suite records each bench's headline numbers here, and the
+suite's conftest flushes the registry to ``BENCH_perf.json`` at session
+end.  Living in the always-importable ``repro`` package (rather than in
+``benchmarks/conftest.py``) guarantees a single registry instance: pytest
+imports a conftest under a different module name than the ``benchmarks.
+conftest`` the bench modules import, so module-level state there would be
+silently duplicated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+# name -> flat dict of numbers/strings recorded by benches this session
+_RESULTS: dict[str, dict] = {}
+
+
+def record_bench_result(name: str, **numbers: object) -> None:
+    """Record one benchmark's headline numbers for BENCH_perf.json.
+
+    Repeated calls with the same name merge (later keys win), so a bench
+    can record incrementally.
+    """
+    _RESULTS.setdefault(name, {}).update(numbers)
+
+
+def has_results() -> bool:
+    """True when at least one bench recorded something this session."""
+    return bool(_RESULTS)
+
+
+def _machine() -> dict:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_bench_json(path: Path) -> int:
+    """Merge this session's results into ``path``; return the result count.
+
+    Partial runs (e.g. benchmarking one file) refresh only the benches they
+    executed and keep every other recorded entry.  Because merged entries may
+    come from different runs on different machines, provenance is stamped
+    per result (``recorded_at`` / ``machine``), not just at the top level --
+    the top-level ``machine`` block describes the machine of the most recent
+    write.
+    """
+    existing: dict = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text()).get("results", {})
+        except (json.JSONDecodeError, OSError):
+            existing = {}
+    now = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    machine = _machine()
+    for name, numbers in _RESULTS.items():
+        existing[name] = {**numbers, "recorded_at": now, "machine": machine}
+    payload = {
+        "schema": 1,
+        "generated_by": "benchmarks/conftest.py (pytest benchmarks/ --benchmark-only)",
+        "generated_at": now,
+        "machine": machine,
+        "results": dict(sorted(existing.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return len(existing)
+
+
+__all__ = ["has_results", "record_bench_result", "write_bench_json"]

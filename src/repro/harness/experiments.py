@@ -5,11 +5,18 @@ the "table" the paper's corresponding theorem would fill.  The benchmark
 suite (``benchmarks/bench_e*.py``) times and prints them; EXPERIMENTS.md
 records paper-bound vs. measured.
 
-Every driver takes ``seeds`` so callers can trade confidence for runtime.
+Every driver takes ``seeds`` so callers can trade confidence for runtime,
+and ``workers`` to fan the per-seed runs out over a process pool
+(:mod:`repro.harness.parallel`).  The default ``workers=None`` runs
+serially; any worker count returns bit-identical rows because each
+per-seed run is a pure function of (scenario, seed) and results are
+aggregated in seed order.  The per-seed bodies live in module-level
+``_eN_seed`` functions so they pickle cleanly into pool workers.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence
 
 from repro.baselines.eig import EigCluster
@@ -20,14 +27,16 @@ from repro.faults.byzantine import (
     EquivocatingGeneralStrategy,
     MirrorParticipantStrategy,
     SelectiveGeneralStrategy,
+    SplitWorldStrategy,
     StaggeredGeneralStrategy,
     TwoFacedParticipantStrategy,
 )
 from repro.faults.transient import TransientFaultInjector
 from repro.harness import metrics, properties
+from repro.harness.parallel import SeedPool
 from repro.harness.scenario import Cluster, ScenarioConfig
 from repro.harness.stats import summarize
-from repro.net.delivery import UniformDelay
+from repro.net.delivery import DeliveryPolicy, UniformDelay
 
 DEFAULT_RHO = 1e-4
 
@@ -39,53 +48,77 @@ def _params(n: int, f: Optional[int] = None, delta: float = 1.0) -> ProtocolPara
 # ---------------------------------------------------------------------------
 # E1 -- Validity + Timeliness-2 with a correct General
 # ---------------------------------------------------------------------------
+def _e1_seed(params: ProtocolParams, seed: int) -> tuple:
+    cluster = Cluster(ScenarioConfig(params=params, seed=seed))
+    t0 = cluster.sim.now
+    assert cluster.propose(general=0, value="m1")
+    cluster.run_for(params.delta_agr + 10 * params.d)
+    decs = list(cluster.latest_decision_per_node(0).values())
+    return (
+        properties.validity(cluster, 0, "m1").holds,
+        properties.timeliness_validity(cluster, 0, t0).holds,
+        metrics.decision_latencies(decs, t0),
+        metrics.decision_spread_real(decs),
+    )
+
+
 def run_e1_validity(
-    ns: Sequence[int] = (4, 7, 10, 13), seeds: Sequence[int] = range(10)
+    ns: Sequence[int] = (4, 7, 10, 13),
+    seeds: Sequence[int] = range(10),
+    workers: Optional[int] = None,
 ) -> list[dict]:
     """Correct General: everyone decides its value within the paper bounds."""
+    seed_list = list(seeds)
     rows = []
-    for n in ns:
-        params = _params(n)
-        ok_validity = ok_timeliness = 0
-        latencies: list[float] = []
-        spreads: list[float] = []
-        for seed in seeds:
-            cluster = Cluster(ScenarioConfig(params=params, seed=seed))
-            t0 = cluster.sim.now
-            assert cluster.propose(general=0, value="m1")
-            cluster.run_for(params.delta_agr + 10 * params.d)
-            if properties.validity(cluster, 0, "m1").holds:
-                ok_validity += 1
-            if properties.timeliness_validity(cluster, 0, t0).holds:
-                ok_timeliness += 1
-            decs = list(cluster.latest_decision_per_node(0).values())
-            latencies.extend(metrics.decision_latencies(decs, t0))
-            spread = metrics.decision_spread_real(decs)
-            if spread is not None:
-                spreads.append(spread)
-        lat = summarize(latencies)
-        rows.append(
-            {
-                "n": n,
-                "f": params.f,
-                "runs": len(list(seeds)),
-                "validity_ok": ok_validity,
-                "timeliness_ok": ok_timeliness,
-                "latency_mean_d": lat.mean / params.d if lat else None,
-                "latency_max_d": lat.maximum / params.d if lat else None,
-                "latency_bound_d": 4.0,  # paper: rt(tau_q) <= t0 + 4d
-                "spread_max_d": max(spreads) / params.d if spreads else None,
-                "spread_bound_d": 2.0,  # paper: 2d under validity
-            }
-        )
+    with SeedPool(workers) as pool:
+        for n in ns:
+            params = _params(n)
+            results = pool.map(partial(_e1_seed, params), seed_list)
+            ok_validity = ok_timeliness = 0
+            latencies: list[float] = []
+            spreads: list[float] = []
+            for v_ok, t_ok, lats, spread in results:
+                if v_ok:
+                    ok_validity += 1
+                if t_ok:
+                    ok_timeliness += 1
+                latencies.extend(lats)
+                if spread is not None:
+                    spreads.append(spread)
+            lat = summarize(latencies)
+            rows.append(
+                {
+                    "n": n,
+                    "f": params.f,
+                    "runs": len(seed_list),
+                    "validity_ok": ok_validity,
+                    "timeliness_ok": ok_timeliness,
+                    "latency_mean_d": lat.mean / params.d if lat else None,
+                    "latency_max_d": lat.maximum / params.d if lat else None,
+                    "latency_bound_d": 4.0,  # paper: rt(tau_q) <= t0 + 4d
+                    "spread_max_d": max(spreads) / params.d if spreads else None,
+                    "spread_bound_d": 2.0,  # paper: 2d under validity
+                }
+            )
     return rows
 
 
 # ---------------------------------------------------------------------------
 # E2 -- Agreement under a Byzantine General
 # ---------------------------------------------------------------------------
+def _e2_seed(params: ProtocolParams, byz: dict, seed: int) -> tuple:
+    cluster = Cluster(ScenarioConfig(params=params, seed=seed, byzantine=byz))
+    cluster.run_for(3 * params.delta_agr)
+    agree = properties.agreement(cluster, 0).holds
+    latest = cluster.latest_decision_per_node(0)
+    decided = any(dec.decided for dec in latest.values())
+    return agree, decided
+
+
 def run_e2_byzantine_general(
-    n: int = 7, seeds: Sequence[int] = range(10)
+    n: int = 7,
+    seeds: Sequence[int] = range(10),
+    workers: Optional[int] = None,
 ) -> list[dict]:
     """Adversarial General strategies: all-or-nothing, single value, always."""
     params = _params(n)
@@ -113,132 +146,153 @@ def run_e2_byzantine_general(
             "selective_subquorum": {0: SelectiveGeneralStrategy("X", others[:2])},
         }
 
+    seed_list = list(seeds)
     rows = []
-    for name, byz in attacks(None).items():
-        agree_ok = 0
-        split = 0
-        decided_runs = 0
-        for seed in seeds:
-            cluster = Cluster(ScenarioConfig(params=params, seed=seed, byzantine=byz))
-            cluster.run_for(3 * params.delta_agr)
-            rep = properties.agreement(cluster, 0)
-            if rep.holds:
-                agree_ok += 1
-            else:
-                split += 1
-            latest = cluster.latest_decision_per_node(0)
-            if any(dec.decided for dec in latest.values()):
-                decided_runs += 1
-        rows.append(
-            {
-                "attack": name,
-                "runs": len(list(seeds)),
-                "agreement_ok": agree_ok,
-                "splits": split,
-                "runs_with_decision": decided_runs,
-            }
-        )
+    with SeedPool(workers) as pool:
+        for name, byz in attacks(None).items():
+            results = pool.map(partial(_e2_seed, params, byz), seed_list)
+            agree_ok = sum(1 for agree, _ in results if agree)
+            split = sum(1 for agree, _ in results if not agree)
+            decided_runs = sum(1 for _, decided in results if decided)
+            rows.append(
+                {
+                    "attack": name,
+                    "runs": len(seed_list),
+                    "agreement_ok": agree_ok,
+                    "splits": split,
+                    "runs_with_decision": decided_runs,
+                }
+            )
     return rows
 
 
 # ---------------------------------------------------------------------------
 # E3 -- Self-stabilization from arbitrary state
 # ---------------------------------------------------------------------------
+def _e3_seed(params: ProtocolParams, garbage_messages: int, seed: int) -> tuple:
+    cluster = Cluster(ScenarioConfig(params=params, seed=seed))
+    injector = TransientFaultInjector(
+        params,
+        cluster.rng.split("injector"),
+        value_pool=["A", "B", "C"],
+        generals=[0, 1],
+    )
+    cluster.run_for(5.0 * params.d)
+    injector.havoc(cluster.correct_nodes(), cluster.net, garbage_messages)
+    cluster.mark_coherent()
+    cluster.run_for(params.delta_stb)
+    since = cluster.sim.now
+    t0 = cluster.sim.now
+    proposed = cluster.propose(general=0, value="recovered")
+    cluster.run_for(params.delta_agr + 10 * params.d)
+    v_ok = properties.validity(cluster, 0, "recovered", since_real=since).holds
+    t_ok = properties.timeliness_validity(cluster, 0, t0, since_real=since).holds
+    return proposed, v_ok, t_ok
+
+
 def run_e3_stabilization(
     n: int = 7,
     seeds: Sequence[int] = range(10),
     garbage_messages: int = 300,
+    workers: Optional[int] = None,
 ) -> list[dict]:
     """Havoc everything, wait Delta_stb, then demand a clean agreement."""
     params = _params(n)
-    rows = []
-    recovered = 0
-    post_validity = 0
-    post_timeliness = 0
-    for seed in seeds:
-        cluster = Cluster(ScenarioConfig(params=params, seed=seed))
-        injector = TransientFaultInjector(
-            params,
-            cluster.rng.split("injector"),
-            value_pool=["A", "B", "C"],
-            generals=[0, 1],
-        )
-        cluster.run_for(5.0 * params.d)
-        injector.havoc(cluster.correct_nodes(), cluster.net, garbage_messages)
-        cluster.mark_coherent()
-        cluster.run_for(params.delta_stb)
-        since = cluster.sim.now
-        t0 = cluster.sim.now
-        proposed = cluster.propose(general=0, value="recovered")
-        cluster.run_for(params.delta_agr + 10 * params.d)
-        v_ok = properties.validity(cluster, 0, "recovered", since_real=since).holds
-        t_ok = properties.timeliness_validity(cluster, 0, t0, since_real=since).holds
-        if proposed:
-            recovered += 1
-        if v_ok:
-            post_validity += 1
-        if t_ok:
-            post_timeliness += 1
-    rows.append(
+    seed_list = list(seeds)
+    with SeedPool(workers) as pool:
+        results = pool.map(partial(_e3_seed, params, garbage_messages), seed_list)
+    recovered = sum(1 for proposed, _, _ in results if proposed)
+    post_validity = sum(1 for _, v_ok, _ in results if v_ok)
+    post_timeliness = sum(1 for _, _, t_ok in results if t_ok)
+    return [
         {
             "n": n,
             "f": params.f,
-            "runs": len(list(seeds)),
+            "runs": len(seed_list),
             "garbage_messages": garbage_messages,
             "proposal_unblocked": recovered,
             "post_stb_validity": post_validity,
             "post_stb_timeliness": post_timeliness,
             "stabilization_bound_d": params.delta_stb / params.d,
         }
-    )
-    return rows
+    ]
 
 
 # ---------------------------------------------------------------------------
 # E4 -- Early stopping: decision time scales with actual faults f'
 # ---------------------------------------------------------------------------
+def _e4_seed(params: ProtocolParams, f_actual: int, seed: int) -> tuple:
+    byz = {params.n - 1 - i: CrashStrategy() for i in range(f_actual)}
+    cluster = Cluster(ScenarioConfig(params=params, seed=seed, byzantine=byz))
+    t0 = cluster.sim.now
+    assert cluster.propose(general=0, value="v")
+    cluster.run_for(params.delta_agr + 10 * params.d)
+    decs = list(cluster.latest_decision_per_node(0).values())
+    return (
+        properties.validity(cluster, 0, "v").holds,
+        metrics.decision_latencies(decs, t0),
+    )
+
+
 def run_e4_early_stopping(
-    n: int = 13, seeds: Sequence[int] = range(10)
+    n: int = 13,
+    seeds: Sequence[int] = range(10),
+    workers: Optional[int] = None,
 ) -> list[dict]:
     """Crash-faulty subsets of size f' = 0..f; latency tracks f', not f."""
     params = _params(n)
+    seed_list = list(seeds)
     rows = []
-    for f_actual in range(params.f + 1):
-        latencies: list[float] = []
-        validity_ok = 0
-        for seed in seeds:
-            byz = {n - 1 - i: CrashStrategy() for i in range(f_actual)}
-            cluster = Cluster(ScenarioConfig(params=params, seed=seed, byzantine=byz))
-            t0 = cluster.sim.now
-            assert cluster.propose(general=0, value="v")
-            cluster.run_for(params.delta_agr + 10 * params.d)
-            if properties.validity(cluster, 0, "v").holds:
-                validity_ok += 1
-            decs = list(cluster.latest_decision_per_node(0).values())
-            latencies.extend(metrics.decision_latencies(decs, t0))
-        lat = summarize(latencies)
-        rows.append(
-            {
-                "n": n,
-                "f": params.f,
-                "f_actual": f_actual,
-                "runs": len(list(seeds)),
-                "validity_ok": validity_ok,
-                "latency_mean_d": lat.mean / params.d if lat else None,
-                "latency_max_d": lat.maximum / params.d if lat else None,
-                "worstcase_bound_d": params.delta_agr / params.d,
-            }
-        )
+    with SeedPool(workers) as pool:
+        for f_actual in range(params.f + 1):
+            results = pool.map(partial(_e4_seed, params, f_actual), seed_list)
+            latencies: list[float] = []
+            validity_ok = 0
+            for v_ok, lats in results:
+                if v_ok:
+                    validity_ok += 1
+                latencies.extend(lats)
+            lat = summarize(latencies)
+            rows.append(
+                {
+                    "n": n,
+                    "f": params.f,
+                    "f_actual": f_actual,
+                    "runs": len(seed_list),
+                    "validity_ok": validity_ok,
+                    "latency_mean_d": lat.mean / params.d if lat else None,
+                    "latency_max_d": lat.maximum / params.d if lat else None,
+                    "worstcase_bound_d": params.delta_agr / params.d,
+                }
+            )
     return rows
 
 
 # ---------------------------------------------------------------------------
 # E5 -- Message-driven vs time-driven rounds
 # ---------------------------------------------------------------------------
+def _e5_seed(
+    params: ProtocolParams, policy: DeliveryPolicy, actual_max: float, seed: int
+) -> tuple:
+    cluster = Cluster(ScenarioConfig(params=params, seed=seed, policy=policy))
+    t0 = cluster.sim.now
+    assert cluster.propose(general=0, value="v")
+    cluster.run_for(params.delta_agr + 10 * params.d)
+    decs = list(cluster.latest_decision_per_node(0).values())
+    ss_lat = metrics.decision_latencies(decs, t0)
+
+    tps = Tps87Cluster(params, seed=seed, policy=UniformDelay(0.1 * actual_max, actual_max))
+    tps.initiate("v")
+    tps_decs = tps.run_to_completion()
+    tps_lat = [d.returned_real for d in tps_decs if d.decided]
+    return ss_lat, tps_lat
+
+
 def run_e5_msg_driven(
     n: int = 7,
     delay_fracs: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 1.0),
     seeds: Sequence[int] = range(5),
+    workers: Optional[int] = None,
 ) -> list[dict]:
     """Latency of ss-Byz-Agree vs TPS'87 as actual delay shrinks below delta.
 
@@ -247,166 +301,188 @@ def run_e5_msg_driven(
     actual-network speed, the lock-step baseline at ``Phi`` granularity.
     """
     params = _params(n)
+    seed_list = list(seeds)
     rows = []
-    for frac in delay_fracs:
-        actual_max = frac * params.delta
-        policy = UniformDelay(0.1 * actual_max, actual_max)
-        ss_lat: list[float] = []
-        tps_lat: list[float] = []
-        for seed in seeds:
-            cluster = Cluster(ScenarioConfig(params=params, seed=seed, policy=policy))
-            t0 = cluster.sim.now
-            assert cluster.propose(general=0, value="v")
-            cluster.run_for(params.delta_agr + 10 * params.d)
-            decs = list(cluster.latest_decision_per_node(0).values())
-            ss_lat.extend(metrics.decision_latencies(decs, t0))
-
-            tps = Tps87Cluster(params, seed=seed, policy=UniformDelay(0.1 * actual_max, actual_max))
-            tps.initiate("v")
-            tps_decs = tps.run_to_completion()
-            tps_lat.extend(d.returned_real for d in tps_decs if d.decided)
-        ss = summarize(ss_lat)
-        tp = summarize(tps_lat)
-        rows.append(
-            {
-                "actual_delay_frac": frac,
-                "ss_latency_mean": ss.mean if ss else None,
-                "tps_latency_mean": tp.mean if tp else None,
-                "speedup": (tp.mean / ss.mean) if ss and tp and ss.mean > 0 else None,
-                "phi": params.phi,
-            }
-        )
+    with SeedPool(workers) as pool:
+        for frac in delay_fracs:
+            actual_max = frac * params.delta
+            policy = UniformDelay(0.1 * actual_max, actual_max)
+            results = pool.map(
+                partial(_e5_seed, params, policy, actual_max), seed_list
+            )
+            ss_lat: list[float] = []
+            tps_lat: list[float] = []
+            for ss, tp in results:
+                ss_lat.extend(ss)
+                tps_lat.extend(tp)
+            ss = summarize(ss_lat)
+            tp = summarize(tps_lat)
+            rows.append(
+                {
+                    "actual_delay_frac": frac,
+                    "ss_latency_mean": ss.mean if ss else None,
+                    "tps_latency_mean": tp.mean if tp else None,
+                    "speedup": (tp.mean / ss.mean) if ss and tp and ss.mean > 0 else None,
+                    "phi": params.phi,
+                }
+            )
     return rows
 
 
 # ---------------------------------------------------------------------------
 # E6 -- Resilience boundary: n > 3f
 # ---------------------------------------------------------------------------
-def run_e6_resilience(seeds: Sequence[int] = range(10)) -> list[dict]:
+def _e6_seed(
+    params: ProtocolParams,
+    byz_count: int,
+    camp_a: tuple,
+    camp_b: tuple,
+    seed: int,
+) -> bool:
+    n = params.n
+    general = 0
+    helpers = [n - 1 - i for i in range(byz_count - 1)]
+    byz: dict = {general: EquivocatingGeneralStrategy("A", "B", camp_a, camp_b)}
+    for helper in helpers:
+        byz[helper] = SplitWorldStrategy(general, "A", "B", camp_a, camp_b)
+    cluster = Cluster(
+        ScenarioConfig(
+            params=params,
+            seed=seed,
+            byzantine=byz,
+            allow_extra_byzantine=byz_count > params.f,
+        )
+    )
+    cluster.run_for(3 * params.delta_agr)
+    return properties.agreement(cluster, 0).holds
+
+
+def run_e6_resilience(
+    seeds: Sequence[int] = range(10),
+    workers: Optional[int] = None,
+) -> list[dict]:
     """The split-world attack at n = 7: provably harmless with f' = 2
     Byzantine nodes (n > 3f'), and a working partition with f' = 3
     (n <= 3f') -- the resilience bound is tight."""
-    from repro.faults.byzantine import SplitWorldStrategy
-
+    seed_list = list(seeds)
     rows = []
     n = 7
-    for byz_count, camp_a, camp_b, label in (
-        (2, (1, 2, 3), (4, 5), "n>3f (within bound)"),
-        (3, (1, 2), (3, 4), "n<=3f' (beyond bound)"),
-    ):
-        params = ProtocolParams(n=n, f=2, delta=1.0, rho=DEFAULT_RHO)
-        agree_ok = 0
-        splits = 0
-        for seed in seeds:
-            general = 0
-            helpers = [n - 1 - i for i in range(byz_count - 1)]
-            byz: dict = {
-                general: EquivocatingGeneralStrategy("A", "B", camp_a, camp_b)
-            }
-            for helper in helpers:
-                byz[helper] = SplitWorldStrategy(general, "A", "B", camp_a, camp_b)
-            cluster = Cluster(
-                ScenarioConfig(
-                    params=params,
-                    seed=seed,
-                    byzantine=byz,
-                    allow_extra_byzantine=byz_count > params.f,
-                )
+    with SeedPool(workers) as pool:
+        for byz_count, camp_a, camp_b, label in (
+            (2, (1, 2, 3), (4, 5), "n>3f (within bound)"),
+            (3, (1, 2), (3, 4), "n<=3f' (beyond bound)"),
+        ):
+            params = ProtocolParams(n=n, f=2, delta=1.0, rho=DEFAULT_RHO)
+            results = pool.map(
+                partial(_e6_seed, params, byz_count, camp_a, camp_b), seed_list
             )
-            cluster.run_for(3 * params.delta_agr)
-            if properties.agreement(cluster, 0).holds:
-                agree_ok += 1
-            else:
-                splits += 1
-        rows.append(
-            {
-                "condition": label,
-                "n": n,
-                "byzantine": byz_count,
-                "runs": len(list(seeds)),
-                "agreement_ok": agree_ok,
-                "splits": splits,
-            }
-        )
+            agree_ok = sum(1 for agree in results if agree)
+            splits = sum(1 for agree in results if not agree)
+            rows.append(
+                {
+                    "condition": label,
+                    "n": n,
+                    "byzantine": byz_count,
+                    "runs": len(seed_list),
+                    "agreement_ok": agree_ok,
+                    "splits": splits,
+                }
+            )
     return rows
 
 
 # ---------------------------------------------------------------------------
 # E7 -- Initiator-Accept bounds
 # ---------------------------------------------------------------------------
+def _e7_seed(params: ProtocolParams, seed: int) -> tuple:
+    cluster = Cluster(ScenarioConfig(params=params, seed=seed))
+    t0 = cluster.sim.now
+    assert cluster.propose(general=0, value="m")
+    cluster.run_for(params.delta_agr)
+    rep = properties.ia_correctness(cluster, 0, "m", t0)
+    return rep.holds, rep.details["accept_spread"], rep.details["anchor_spread"]
+
+
 def run_e7_initiator_accept(
-    ns: Sequence[int] = (4, 7, 10), seeds: Sequence[int] = range(10)
+    ns: Sequence[int] = (4, 7, 10),
+    seeds: Sequence[int] = range(10),
+    workers: Optional[int] = None,
 ) -> list[dict]:
     """IA-1A/1B/1C/1D with a correct General; IA-3A under a staggered one."""
+    seed_list = list(seeds)
     rows = []
-    for n in ns:
-        params = _params(n)
-        ia_ok = 0
-        accept_spreads: list[float] = []
-        anchor_spreads: list[float] = []
-        for seed in seeds:
-            cluster = Cluster(ScenarioConfig(params=params, seed=seed))
-            t0 = cluster.sim.now
-            assert cluster.propose(general=0, value="m")
-            cluster.run_for(params.delta_agr)
-            rep = properties.ia_correctness(cluster, 0, "m", t0)
-            if rep.holds:
-                ia_ok += 1
-            if rep.details["accept_spread"] is not None:
-                accept_spreads.append(rep.details["accept_spread"])
-            if rep.details["anchor_spread"] is not None:
-                anchor_spreads.append(rep.details["anchor_spread"])
-        rows.append(
-            {
-                "n": n,
-                "f": params.f,
-                "runs": len(list(seeds)),
-                "ia1_ok": ia_ok,
-                "accept_spread_max_d": max(accept_spreads) / params.d
-                if accept_spreads
-                else None,
-                "accept_spread_bound_d": 2.0,
-                "anchor_spread_max_d": max(anchor_spreads) / params.d
-                if anchor_spreads
-                else None,
-                "anchor_spread_bound_d": 1.0,
-            }
-        )
+    with SeedPool(workers) as pool:
+        for n in ns:
+            params = _params(n)
+            results = pool.map(partial(_e7_seed, params), seed_list)
+            ia_ok = 0
+            accept_spreads: list[float] = []
+            anchor_spreads: list[float] = []
+            for holds, accept_spread, anchor_spread in results:
+                if holds:
+                    ia_ok += 1
+                if accept_spread is not None:
+                    accept_spreads.append(accept_spread)
+                if anchor_spread is not None:
+                    anchor_spreads.append(anchor_spread)
+            rows.append(
+                {
+                    "n": n,
+                    "f": params.f,
+                    "runs": len(seed_list),
+                    "ia1_ok": ia_ok,
+                    "accept_spread_max_d": max(accept_spreads) / params.d
+                    if accept_spreads
+                    else None,
+                    "accept_spread_bound_d": 2.0,
+                    "anchor_spread_max_d": max(anchor_spreads) / params.d
+                    if anchor_spreads
+                    else None,
+                    "anchor_spread_bound_d": 1.0,
+                }
+            )
     return rows
 
 
 # ---------------------------------------------------------------------------
 # E8 -- Separation / Uniqueness across recurrent agreements
 # ---------------------------------------------------------------------------
+def _e8_seed(params: ProtocolParams, rounds: int, seed: int) -> tuple:
+    cluster = Cluster(ScenarioConfig(params=params, seed=seed))
+    values = [f"v{i}" for i in range(rounds)] + ["v0"]  # repeat v0 at the end
+    for value in values:
+        # Respect the General's pacing: wait until it may propose again.
+        guard = 0
+        while not cluster.propose(general=0, value=value):
+            cluster.run_for(params.delta_0)
+            guard += 1
+            if guard > 200:
+                raise RuntimeError("General never allowed to propose")
+        cluster.run_for(params.delta_agr + 10 * params.d)
+    rep = properties.separation(cluster, 0)
+    sep = rep.holds
+    both = rep.holds and properties.agreement(cluster, 0).holds
+    return sep, both
+
+
 def run_e8_separation(
-    n: int = 7, rounds: int = 3, seeds: Sequence[int] = range(5)
+    n: int = 7,
+    rounds: int = 3,
+    seeds: Sequence[int] = range(5),
+    workers: Optional[int] = None,
 ) -> list[dict]:
     """Recurrent initiations (distinct and repeated values): IA-4 bounds."""
     params = _params(n)
-    sep_ok = 0
-    all_ok = 0
-    for seed in seeds:
-        cluster = Cluster(ScenarioConfig(params=params, seed=seed))
-        values = [f"v{i}" for i in range(rounds)] + ["v0"]  # repeat v0 at the end
-        for value in values:
-            # Respect the General's pacing: wait until it may propose again.
-            guard = 0
-            while not cluster.propose(general=0, value=value):
-                cluster.run_for(params.delta_0)
-                guard += 1
-                if guard > 200:
-                    raise RuntimeError("General never allowed to propose")
-            cluster.run_for(params.delta_agr + 10 * params.d)
-        rep = properties.separation(cluster, 0)
-        if rep.holds:
-            sep_ok += 1
-        if rep.holds and properties.agreement(cluster, 0).holds:
-            all_ok += 1
+    seed_list = list(seeds)
+    with SeedPool(workers) as pool:
+        results = pool.map(partial(_e8_seed, params, rounds), seed_list)
+    sep_ok = sum(1 for sep, _ in results if sep)
+    all_ok = sum(1 for _, both in results if both)
     return [
         {
             "n": n,
             "rounds": rounds + 1,
-            "runs": len(list(seeds)),
+            "runs": len(seed_list),
             "separation_ok": sep_ok,
             "separation_and_agreement_ok": all_ok,
             "distinct_bound_d": 4.0,
@@ -418,78 +494,100 @@ def run_e8_separation(
 # ---------------------------------------------------------------------------
 # E9 -- Message complexity and scaling
 # ---------------------------------------------------------------------------
+def _e9_seed(params: ProtocolParams, seed: int) -> tuple:
+    cluster = Cluster(ScenarioConfig(params=params, seed=seed))
+    t0 = cluster.sim.now
+    base = cluster.net.sent_count
+    assert cluster.propose(general=0, value="v")
+    cluster.run_for(params.delta_agr + 10 * params.d)
+    decs = list(cluster.latest_decision_per_node(0).values())
+    return (
+        cluster.net.sent_count - base,
+        metrics.decision_latencies(decs, t0),
+    )
+
+
 def run_e9_scaling(
     ns: Sequence[int] = (4, 7, 10, 13, 16, 19, 22, 25),
     seeds: Sequence[int] = range(3),
+    workers: Optional[int] = None,
 ) -> list[dict]:
     """Messages per agreement vs n (expected O(n^2) per phase shape)."""
+    seed_list = list(seeds)
     rows = []
-    for n in ns:
-        params = _params(n)
-        msg_counts: list[float] = []
-        latencies: list[float] = []
-        for seed in seeds:
-            cluster = Cluster(ScenarioConfig(params=params, seed=seed))
-            t0 = cluster.sim.now
-            base = cluster.net.sent_count
-            assert cluster.propose(general=0, value="v")
-            cluster.run_for(params.delta_agr + 10 * params.d)
-            msg_counts.append(cluster.net.sent_count - base)
-            decs = list(cluster.latest_decision_per_node(0).values())
-            latencies.extend(metrics.decision_latencies(decs, t0))
-        msgs = summarize(msg_counts)
-        lat = summarize(latencies)
-        rows.append(
-            {
-                "n": n,
-                "f": params.f,
-                "messages_mean": msgs.mean if msgs else None,
-                "messages_per_n2": msgs.mean / (n * n) if msgs else None,
-                "latency_mean_d": lat.mean / params.d if lat else None,
-            }
-        )
+    with SeedPool(workers) as pool:
+        for n in ns:
+            params = _params(n)
+            results = pool.map(partial(_e9_seed, params), seed_list)
+            msg_counts: list[float] = []
+            latencies: list[float] = []
+            for sent, lats in results:
+                msg_counts.append(sent)
+                latencies.extend(lats)
+            msgs = summarize(msg_counts)
+            lat = summarize(latencies)
+            rows.append(
+                {
+                    "n": n,
+                    "f": params.f,
+                    "messages_mean": msgs.mean if msgs else None,
+                    "messages_per_n2": msgs.mean / (n * n) if msgs else None,
+                    "latency_mean_d": lat.mean / params.d if lat else None,
+                }
+            )
     return rows
 
 
 # ---------------------------------------------------------------------------
 # E10 -- Classic protocol fails from arbitrary state; ss-Byz-Agree recovers
 # ---------------------------------------------------------------------------
+def _e10_seed(params: ProtocolParams, seed: int) -> tuple:
+    eig = EigCluster(params, seed=seed)
+    eig.initiate("V")
+    eig.corrupt_mid_run(["A", "B"], at_round=params.f)
+    decisions = eig.run_to_completion()
+    values = set(decisions.values())
+    if len(values) > 1:
+        eig_outcome = "split"
+    elif values == {"V"}:
+        eig_outcome = "clean"
+    else:
+        eig_outcome = "wrong"
+
+    cluster = Cluster(ScenarioConfig(params=params, seed=seed))
+    injector = TransientFaultInjector(
+        params, cluster.rng.split("inj"), value_pool=["A", "B", "V"], generals=[0]
+    )
+    cluster.run_for(5.0 * params.d)
+    injector.havoc(cluster.correct_nodes(), cluster.net, garbage_messages=200)
+    cluster.run_for(params.delta_stb)
+    since = cluster.sim.now
+    ss_recovered = False
+    if cluster.propose(general=0, value="V"):
+        cluster.run_for(params.delta_agr + 10 * params.d)
+        if properties.validity(cluster, 0, "V", since_real=since).holds:
+            ss_recovered = True
+    return eig_outcome, ss_recovered
+
+
 def run_e10_classic_fails(
-    n: int = 7, seeds: Sequence[int] = range(10)
+    n: int = 7,
+    seeds: Sequence[int] = range(10),
+    workers: Optional[int] = None,
 ) -> list[dict]:
     """Same transient-corruption idea on EIG vs ss-Byz-Agree."""
     params = _params(n)
-    eig_agree_wrong = eig_split = eig_clean = 0
-    ss_recovered = 0
-    for seed in seeds:
-        eig = EigCluster(params, seed=seed)
-        eig.initiate("V")
-        eig.corrupt_mid_run(["A", "B"], at_round=params.f)
-        decisions = eig.run_to_completion()
-        values = set(decisions.values())
-        if len(values) > 1:
-            eig_split += 1
-        elif values == {"V"}:
-            eig_clean += 1
-        else:
-            eig_agree_wrong += 1
-
-        cluster = Cluster(ScenarioConfig(params=params, seed=seed))
-        injector = TransientFaultInjector(
-            params, cluster.rng.split("inj"), value_pool=["A", "B", "V"], generals=[0]
-        )
-        cluster.run_for(5.0 * params.d)
-        injector.havoc(cluster.correct_nodes(), cluster.net, garbage_messages=200)
-        cluster.run_for(params.delta_stb)
-        since = cluster.sim.now
-        if cluster.propose(general=0, value="V"):
-            cluster.run_for(params.delta_agr + 10 * params.d)
-            if properties.validity(cluster, 0, "V", since_real=since).holds:
-                ss_recovered += 1
+    seed_list = list(seeds)
+    with SeedPool(workers) as pool:
+        results = pool.map(partial(_e10_seed, params), seed_list)
+    eig_split = sum(1 for outcome, _ in results if outcome == "split")
+    eig_clean = sum(1 for outcome, _ in results if outcome == "clean")
+    eig_agree_wrong = sum(1 for outcome, _ in results if outcome == "wrong")
+    ss_recovered = sum(1 for _, recovered in results if recovered)
     return [
         {
             "n": n,
-            "runs": len(list(seeds)),
+            "runs": len(seed_list),
             "eig_agreed_on_garbage": eig_agree_wrong,
             "eig_disagreement": eig_split,
             "eig_unaffected": eig_clean,

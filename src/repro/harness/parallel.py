@@ -1,0 +1,104 @@
+"""Process-pool fan-out over experiment seeds.
+
+Every experiment driver in :mod:`repro.harness.experiments` runs a family of
+scenarios as ``for seed in seeds: <build cluster, run, measure>``.  Each
+per-seed run is a pure function of ``(scenario, seed)`` -- all randomness is
+derived from the seed via sha256 (:mod:`repro.sim.rand`), so results are
+identical across processes and interpreter invocations.  That makes seeds
+embarrassingly parallel: this module fans them out over a
+:class:`concurrent.futures.ProcessPoolExecutor` while preserving the seed
+order of the results, so parallel execution is *bit-identical* to serial.
+
+Usage::
+
+    from repro.harness.parallel import SeedPool
+
+    with SeedPool(workers=8) as pool:
+        results = pool.map(per_seed_fn, seeds)   # ordered like ``seeds``
+
+``workers=None`` (the default everywhere) or ``workers=1`` runs serially in
+process -- no pool, no pickling, deterministic output *ordering and content*
+exactly as before this subsystem existed.  ``workers`` larger than the seed
+count is fine; the pool simply leaves the extra workers idle.
+
+The mapped callable and its bound arguments must be picklable: use
+module-level functions (optionally wrapped in :func:`functools.partial`),
+never lambdas or closures.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+R = TypeVar("R")
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers`` argument to an effective worker count.
+
+    ``None``, ``0`` and ``1`` mean serial; negative values mean "all cores";
+    anything else is taken literally.
+    """
+    if workers is None or workers == 0:
+        return 1
+    if workers < 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+class SeedPool:
+    """A reusable seed fan-out: one process pool spanning many map calls.
+
+    Drivers with outer sweep loops (over ``n``, attack names, delay
+    fractions, ...) open one pool for the whole driver so worker startup is
+    amortized across every inner seed loop.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self._workers = resolve_workers(workers)
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def workers(self) -> int:
+        """Effective worker count (1 means serial in-process)."""
+        return self._workers
+
+    def __enter__(self) -> "SeedPool":
+        if self._workers > 1:
+            self._executor = ProcessPoolExecutor(max_workers=self._workers)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def map(self, fn: Callable[[int], R], seeds: Iterable[int]) -> list[R]:
+        """Apply ``fn`` to every seed; results come back in seed order."""
+        seed_list = list(seeds)
+        if self._executor is None or len(seed_list) <= 1:
+            return [fn(seed) for seed in seed_list]
+        return list(self._executor.map(fn, seed_list))
+
+
+def run_seeds_parallel(
+    fn: Callable[[int], R],
+    seeds: Sequence[int],
+    workers: Optional[int] = None,
+) -> list[R]:
+    """One-shot fan-out: map a picklable per-seed function over ``seeds``.
+
+    Equivalent to ``[fn(s) for s in seeds]`` -- same results, same order --
+    but runs on ``workers`` processes when ``workers`` exceeds one.
+    """
+    with SeedPool(workers) as pool:
+        return pool.map(fn, seeds)
+
+
+__all__ = ["SeedPool", "resolve_workers", "run_seeds_parallel"]

@@ -17,6 +17,7 @@ Responsibilities:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Optional
 
 from repro.net.delivery import DeliveryPolicy
@@ -54,6 +55,7 @@ class Network:
         self._rng = rng
         self._tracer = tracer
         self._receivers: dict[int, Receiver] = {}
+        self._node_ids: Optional[list[int]] = None  # cached sorted ids
         self._partitioned: set[int] = set()
         self.sent_count = 0
         self.delivered_count = 0
@@ -67,11 +69,14 @@ class Network:
         if node_id in self._receivers:
             raise ValueError(f"node {node_id} already registered")
         self._receivers[node_id] = receiver
+        self._node_ids = None
 
     @property
     def node_ids(self) -> list[int]:
         """All registered node identifiers, sorted."""
-        return sorted(self._receivers)
+        if self._node_ids is None:
+            self._node_ids = sorted(self._receivers)
+        return list(self._node_ids)
 
     # ------------------------------------------------------------------
     # Policy control (scenario transitions, e.g. incoherent -> coherent)
@@ -110,9 +115,33 @@ class Network:
 
         The model has no broadcast medium: this is n point-to-point sends and
         a Byzantine sender may instead call :meth:`send` selectively.
+        Semantically identical to n :meth:`send` calls, but done as one sweep
+        over the cached id list with the per-copy policy decision and
+        delivery scheduling inlined (no per-copy closure allocation).
         """
-        for receiver in self.node_ids:
-            self.send(sender, receiver, payload)
+        if self._node_ids is None:
+            self._node_ids = sorted(self._receivers)
+        tracer = self._tracer
+        policy = self._policy
+        rng = self._rng
+        now = self._sim.now
+        sender_cut = sender in self._partitioned
+        for receiver in self._node_ids:
+            self.sent_count += 1
+            if tracer is not None:
+                tracer.record(now, sender, "send", receiver=receiver, payload=payload)
+            if sender_cut or receiver in self._partitioned:
+                self.dropped_count += 1
+                continue
+            decision = policy.decide(sender, receiver, payload, rng)
+            if decision.drop:
+                self.dropped_count += 1
+                if tracer is not None:
+                    tracer.record(
+                        now, sender, "drop", receiver=receiver, payload=payload
+                    )
+                continue
+            self._deliver_later(sender, receiver, payload, now, decision.delay)
 
     def inject_spurious(
         self,
@@ -158,29 +187,30 @@ class Network:
         sent_at: float,
         delay: float,
     ) -> None:
-        def deliver() -> None:
-            if receiver in self._partitioned:
-                self.dropped_count += 1
-                return
-            self.delivered_count += 1
-            envelope = Envelope(
-                sender=sender,
-                receiver=receiver,
-                payload=payload,
-                sent_at=sent_at,
-                delivered_at=self._sim.now,
-            )
-            if self._tracer is not None:
-                self._tracer.record(
-                    self._sim.now,
-                    receiver,
-                    "deliver",
-                    sender=sender,
-                    payload=payload,
-                )
-            self._receivers[receiver](envelope)
+        self._sim.schedule_in(
+            delay,
+            partial(self._deliver_now, sender, receiver, payload, sent_at),
+            tag=f"deliver:{sender}->{receiver}",
+        )
 
-        self._sim.schedule_in(delay, deliver, tag=f"deliver:{sender}->{receiver}")
+    def _deliver_now(
+        self, sender: int, receiver: int, payload: object, sent_at: float
+    ) -> None:
+        if receiver in self._partitioned:
+            self.dropped_count += 1
+            return
+        self.delivered_count += 1
+        now = self._sim.now
+        envelope = Envelope(
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+            sent_at=sent_at,
+            delivered_at=now,
+        )
+        if self._tracer is not None:
+            self._tracer.record(now, receiver, "deliver", sender=sender, payload=payload)
+        self._receivers[receiver](envelope)
 
 
 __all__ = ["Envelope", "Network", "Receiver"]

@@ -10,37 +10,152 @@ Self-stabilization support: the log can be filled with arbitrary fabricated
 records (:meth:`MessageLog.corrupt_insert`), modelling a node that wakes up
 from a transient fault with spurious "received messages" in memory, and
 pruned by age (the protocols' cleanup rules).
+
+Fast path
+---------
+Window predicates are evaluated on *every* message arrival, so this module
+is the single hottest query path in the simulator.  The log therefore keeps
+incremental per-key state instead of rescanning records:
+
+* a flat time-sorted pair of arrays ``(times, time_senders)`` per key, so a
+  window query is two bisects plus a slice over only the in-window hits;
+* per-sender sorted arrival lists (the authoritative record store), so
+  per-sender queries and prunes stay local;
+* a lazily cached ascending array of per-sender latest arrivals, so
+  ``kth_latest_distinct`` is a cache lookup instead of a sort per call.
+
+Arrivals are observed in nondecreasing local time during normal operation,
+so every maintenance step above is an O(1) append; bisect-insertion only
+happens for out-of-order (corrupted) arrivals.  The naive original
+implementation survives as :class:`repro.node.msglog_ref.ReferenceMessageLog`
+and ``tests/test_msglog_equiv.py`` proves behavioural equivalence.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
 from typing import Hashable, Iterable, Optional
 
 Key = Hashable
+
+
+class _KeyLog:
+    """Incremental state for one message key."""
+
+    __slots__ = ("per_sender", "times", "time_senders", "latest_sorted")
+
+    def __init__(self) -> None:
+        # sender -> sorted arrival local-times (never empty once present)
+        self.per_sender: dict[int, list[float]] = {}
+        # flat arrival axis: times is sorted, time_senders[i] sent times[i]
+        self.times: list[float] = []
+        self.time_senders: list[int] = []
+        # ascending per-sender latest arrivals; None when stale
+        self.latest_sorted: Optional[list[float]] = None
+
+    # -- recording ------------------------------------------------------
+    def add(self, sender: int, arrival: float) -> None:
+        arrivals = self.per_sender.get(sender)
+        cache = self.latest_sorted
+        if arrivals is None:
+            self.per_sender[sender] = [arrival]
+            if cache is not None:
+                insort(cache, arrival)
+        elif arrival >= arrivals[-1]:
+            old_latest = arrivals[-1]
+            arrivals.append(arrival)
+            if cache is not None and arrival != old_latest:
+                del cache[bisect_left(cache, old_latest)]
+                insort(cache, arrival)
+        else:
+            # out-of-order (corruption): sender's latest is unchanged
+            insort(arrivals, arrival)
+        times = self.times
+        if times and arrival < times[-1]:
+            idx = bisect_right(times, arrival)
+            times.insert(idx, arrival)
+            self.time_senders.insert(idx, sender)
+        else:
+            times.append(arrival)
+            self.time_senders.append(sender)
+
+    # -- queries --------------------------------------------------------
+    def window_senders(self, start: float, end: float) -> set[int]:
+        times = self.times
+        lo = bisect_left(times, start)
+        hi = bisect_right(times, end)
+        if lo >= hi:
+            return set()
+        if hi - lo == len(times):
+            return set(self.per_sender)
+        return set(self.time_senders[lo:hi])
+
+    def latest_ascending(self) -> list[float]:
+        cache = self.latest_sorted
+        if cache is None:
+            cache = sorted(a[-1] for a in self.per_sender.values())
+            self.latest_sorted = cache
+        return cache
+
+    # -- pruning --------------------------------------------------------
+    def prune_older_than(self, cutoff: float) -> int:
+        times = self.times
+        idx = bisect_left(times, cutoff)
+        if idx == 0:
+            return 0
+        del times[:idx]
+        del self.time_senders[:idx]
+        dead: list[int] = []
+        for sender, arrivals in self.per_sender.items():
+            j = bisect_left(arrivals, cutoff)
+            if j:
+                if j == len(arrivals):
+                    dead.append(sender)
+                else:
+                    del arrivals[:j]
+        if dead:
+            for sender in dead:
+                del self.per_sender[sender]
+            self.latest_sorted = None  # lost whole senders
+        return idx
+
+    def prune_future(self, now: float) -> int:
+        times = self.times
+        keep = bisect_right(times, now)
+        total = len(times)
+        if keep == total:
+            return 0
+        del times[keep:]
+        del self.time_senders[keep:]
+        dead: list[int] = []
+        for sender, arrivals in self.per_sender.items():
+            j = bisect_right(arrivals, now)
+            if j != len(arrivals):
+                if j == 0:
+                    dead.append(sender)
+                else:
+                    del arrivals[j:]
+        for sender in dead:
+            del self.per_sender[sender]
+        self.latest_sorted = None  # future stamps are always some latest
+        return total - keep
 
 
 class MessageLog:
     """Arrival-time log keyed by (message key, sender)."""
 
     def __init__(self) -> None:
-        # key -> sender -> sorted list of arrival local-times
-        self._records: dict[Key, dict[int, list[float]]] = {}
+        self._keys: dict[Key, _KeyLog] = {}
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def add(self, key: Key, sender: int, arrival_local: float) -> None:
         """Record one arrival."""
-        per_sender = self._records.setdefault(key, {})
-        arrivals = per_sender.setdefault(sender, [])
-        # Arrivals are observed in nondecreasing local time during normal
-        # operation; corruption may violate that, so insert-sorted.
-        if arrivals and arrival_local < arrivals[-1]:
-            import bisect
-
-            bisect.insort(arrivals, arrival_local)
-        else:
-            arrivals.append(arrival_local)
+        klog = self._keys.get(key)
+        if klog is None:
+            klog = self._keys[key] = _KeyLog()
+        klog.add(sender, arrival_local)
 
     def corrupt_insert(self, key: Key, sender: int, arrival_local: float) -> None:
         """Insert a fabricated record (transient-fault modelling)."""
@@ -51,31 +166,34 @@ class MessageLog:
     # ------------------------------------------------------------------
     def senders(self, key: Key) -> set[int]:
         """All senders with at least one record for the key."""
-        return set(self._records.get(key, {}))
+        klog = self._keys.get(key)
+        return set(klog.per_sender) if klog is not None else set()
 
     def count_distinct(self, key: Key) -> int:
         """Number of distinct senders recorded for the key (any time)."""
-        return len(self._records.get(key, {}))
+        klog = self._keys.get(key)
+        return len(klog.per_sender) if klog is not None else 0
 
     def distinct_senders_in(self, key: Key, start: float, end: float) -> set[int]:
         """Senders with at least one arrival in the closed window [start, end]."""
-        found: set[int] = set()
-        for sender, arrivals in self._records.get(key, {}).items():
-            if any(start <= a <= end for a in arrivals):
-                found.add(sender)
-        return found
+        klog = self._keys.get(key)
+        if klog is None:
+            return set()
+        return klog.window_senders(start, end)
 
     def count_distinct_in(self, key: Key, start: float, end: float) -> int:
         """Number of distinct senders with an arrival in [start, end]."""
-        return len(self.distinct_senders_in(key, start, end))
+        klog = self._keys.get(key)
+        if klog is None:
+            return 0
+        return len(klog.window_senders(start, end))
 
     def latest_arrival_per_sender(self, key: Key) -> dict[int, float]:
         """Latest recorded arrival per sender."""
-        return {
-            sender: arrivals[-1]
-            for sender, arrivals in self._records.get(key, {}).items()
-            if arrivals
-        }
+        klog = self._keys.get(key)
+        if klog is None:
+            return {}
+        return {sender: arrivals[-1] for sender, arrivals in klog.per_sender.items()}
 
     def kth_latest_distinct(self, key: Key, k: int) -> Optional[float]:
         """Start of the shortest window ending *now* with k distinct senders.
@@ -86,23 +204,22 @@ class MessageLog:
         implements the paper's "shortest interval [tau - a, tau]" phrasing in
         Block L.
         """
-        latest = sorted(self.latest_arrival_per_sender(key).values(), reverse=True)
-        if len(latest) < k:
+        klog = self._keys.get(key)
+        if klog is None or len(klog.per_sender) < k or k <= 0:
             return None
-        return latest[k - 1]
+        return klog.latest_ascending()[-k]
 
     def earliest_arrival(self, key: Key) -> Optional[float]:
         """Earliest arrival recorded for the key across all senders."""
-        candidates = [
-            arrivals[0]
-            for arrivals in self._records.get(key, {}).values()
-            if arrivals
-        ]
-        return min(candidates) if candidates else None
+        klog = self._keys.get(key)
+        if klog is None or not klog.times:
+            return None
+        return klog.times[0]
 
     def has_from(self, key: Key, sender: int) -> bool:
         """True iff the key has a record from the given sender."""
-        return sender in self._records.get(key, {})
+        klog = self._keys.get(key)
+        return klog is not None and sender in klog.per_sender
 
     # ------------------------------------------------------------------
     # Cleanup (the protocols' decay rules)
@@ -111,21 +228,12 @@ class MessageLog:
         """Drop records with arrival before ``cutoff_local``; return count."""
         dropped = 0
         empty_keys = []
-        for key, per_sender in self._records.items():
-            empty_senders = []
-            for sender, arrivals in per_sender.items():
-                kept = [a for a in arrivals if a >= cutoff_local]
-                dropped += len(arrivals) - len(kept)
-                if kept:
-                    per_sender[sender] = kept
-                else:
-                    empty_senders.append(sender)
-            for sender in empty_senders:
-                del per_sender[sender]
-            if not per_sender:
+        for key, klog in self._keys.items():
+            dropped += klog.prune_older_than(cutoff_local)
+            if not klog.per_sender:
                 empty_keys.append(key)
         for key in empty_keys:
-            del self._records[key]
+            del self._keys[key]
         return dropped
 
     def prune_future(self, now_local: float) -> int:
@@ -134,45 +242,37 @@ class MessageLog:
         The paper: "Each time-stamped entry that is clearly wrong, with
         respect to the current clock reading ... is removed; i.e., future
         time stamps or too old time stamps."  Future stamps only arise from
-        transient corruption.
+        transient corruption.  (Matching the original implementation, a key
+        emptied here keeps its -- empty -- entry; only age-pruning retires
+        keys.)
         """
         dropped = 0
-        for per_sender in self._records.values():
-            for sender, arrivals in list(per_sender.items()):
-                kept = [a for a in arrivals if a <= now_local]
-                dropped += len(arrivals) - len(kept)
-                if kept:
-                    per_sender[sender] = kept
-                else:
-                    del per_sender[sender]
+        for klog in self._keys.values():
+            dropped += klog.prune_future(now_local)
         return dropped
 
     def remove_keys(self, keys: Iterable[Key]) -> None:
         """Remove all records for the given keys (N4's "remove all (G,m))."""
         for key in keys:
-            self._records.pop(key, None)
+            self._keys.pop(key, None)
 
     def remove_matching(self, predicate) -> None:
         """Remove all records whose key satisfies the predicate."""
-        for key in [k for k in self._records if predicate(k)]:
-            del self._records[key]
+        for key in [k for k in self._keys if predicate(k)]:
+            del self._keys[key]
 
     def clear(self) -> None:
         """Drop everything."""
-        self._records.clear()
+        self._keys.clear()
 
     @property
     def keys(self) -> list[Key]:
         """All keys with at least one record."""
-        return list(self._records)
+        return list(self._keys)
 
     def total_records(self) -> int:
         """Total number of stored arrivals (for memory-boundedness tests)."""
-        return sum(
-            len(arrivals)
-            for per_sender in self._records.values()
-            for arrivals in per_sender.values()
-        )
+        return sum(len(klog.times) for klog in self._keys.values())
 
 
 __all__ = ["MessageLog"]

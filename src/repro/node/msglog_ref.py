@@ -1,0 +1,161 @@
+"""Naive reference implementation of :class:`~repro.node.msglog.MessageLog`.
+
+This is the original O(records)-per-query implementation, kept verbatim as
+the behavioural oracle for the incremental fast-path log.  The randomized
+differential test (``tests/test_msglog_equiv.py``) and the kernel
+micro-benchmarks (``benchmarks/bench_perf_kernel.py``) pit the two against
+each other: every public query must return identical results after any
+interleaving of adds, corrupt inserts, prunes, and removals, and the
+incremental log must beat this one by a wide margin on window queries.
+
+Do not "optimize" this module -- its simplicity is its value.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Hashable, Iterable, Optional
+
+Key = Hashable
+
+
+class ReferenceMessageLog:
+    """Arrival-time log keyed by (message key, sender) -- naive scans."""
+
+    def __init__(self) -> None:
+        # key -> sender -> sorted list of arrival local-times
+        self._records: dict[Key, dict[int, list[float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def add(self, key: Key, sender: int, arrival_local: float) -> None:
+        """Record one arrival."""
+        per_sender = self._records.setdefault(key, {})
+        arrivals = per_sender.setdefault(sender, [])
+        if arrivals and arrival_local < arrivals[-1]:
+            bisect.insort(arrivals, arrival_local)
+        else:
+            arrivals.append(arrival_local)
+
+    def corrupt_insert(self, key: Key, sender: int, arrival_local: float) -> None:
+        """Insert a fabricated record (transient-fault modelling)."""
+        self.add(key, sender, arrival_local)
+
+    # ------------------------------------------------------------------
+    # Window queries
+    # ------------------------------------------------------------------
+    def senders(self, key: Key) -> set[int]:
+        """All senders with at least one record for the key."""
+        return set(self._records.get(key, {}))
+
+    def count_distinct(self, key: Key) -> int:
+        """Number of distinct senders recorded for the key (any time)."""
+        return len(self._records.get(key, {}))
+
+    def distinct_senders_in(self, key: Key, start: float, end: float) -> set[int]:
+        """Senders with at least one arrival in the closed window [start, end]."""
+        found: set[int] = set()
+        for sender, arrivals in self._records.get(key, {}).items():
+            if any(start <= a <= end for a in arrivals):
+                found.add(sender)
+        return found
+
+    def count_distinct_in(self, key: Key, start: float, end: float) -> int:
+        """Number of distinct senders with an arrival in [start, end]."""
+        return len(self.distinct_senders_in(key, start, end))
+
+    def latest_arrival_per_sender(self, key: Key) -> dict[int, float]:
+        """Latest recorded arrival per sender."""
+        return {
+            sender: arrivals[-1]
+            for sender, arrivals in self._records.get(key, {}).items()
+            if arrivals
+        }
+
+    def kth_latest_distinct(self, key: Key, k: int) -> Optional[float]:
+        """k-th largest of the per-sender latest arrivals, or None."""
+        latest = sorted(self.latest_arrival_per_sender(key).values(), reverse=True)
+        if len(latest) < k:
+            return None
+        return latest[k - 1]
+
+    def earliest_arrival(self, key: Key) -> Optional[float]:
+        """Earliest arrival recorded for the key across all senders."""
+        candidates = [
+            arrivals[0]
+            for arrivals in self._records.get(key, {}).values()
+            if arrivals
+        ]
+        return min(candidates) if candidates else None
+
+    def has_from(self, key: Key, sender: int) -> bool:
+        """True iff the key has a record from the given sender."""
+        return sender in self._records.get(key, {})
+
+    # ------------------------------------------------------------------
+    # Cleanup
+    # ------------------------------------------------------------------
+    def prune_older_than(self, cutoff_local: float) -> int:
+        """Drop records with arrival before ``cutoff_local``; return count."""
+        dropped = 0
+        empty_keys = []
+        for key, per_sender in self._records.items():
+            empty_senders = []
+            for sender, arrivals in per_sender.items():
+                kept = [a for a in arrivals if a >= cutoff_local]
+                dropped += len(arrivals) - len(kept)
+                if kept:
+                    per_sender[sender] = kept
+                else:
+                    empty_senders.append(sender)
+            for sender in empty_senders:
+                del per_sender[sender]
+            if not per_sender:
+                empty_keys.append(key)
+        for key in empty_keys:
+            del self._records[key]
+        return dropped
+
+    def prune_future(self, now_local: float) -> int:
+        """Drop records with arrival times in the (local) future."""
+        dropped = 0
+        for per_sender in self._records.values():
+            for sender, arrivals in list(per_sender.items()):
+                kept = [a for a in arrivals if a <= now_local]
+                dropped += len(arrivals) - len(kept)
+                if kept:
+                    per_sender[sender] = kept
+                else:
+                    del per_sender[sender]
+        return dropped
+
+    def remove_keys(self, keys: Iterable[Key]) -> None:
+        """Remove all records for the given keys."""
+        for key in keys:
+            self._records.pop(key, None)
+
+    def remove_matching(self, predicate) -> None:
+        """Remove all records whose key satisfies the predicate."""
+        for key in [k for k in self._records if predicate(k)]:
+            del self._records[key]
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._records.clear()
+
+    @property
+    def keys(self) -> list[Key]:
+        """All keys with at least one record."""
+        return list(self._records)
+
+    def total_records(self) -> int:
+        """Total number of stored arrivals."""
+        return sum(
+            len(arrivals)
+            for per_sender in self._records.values()
+            for arrivals in per_sender.values()
+        )
+
+
+__all__ = ["ReferenceMessageLog"]

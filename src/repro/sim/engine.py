@@ -11,41 +11,47 @@ Determinism
 Two events scheduled for the same real time are executed in the order they
 were scheduled (a monotonically increasing sequence number breaks ties), so a
 run is a pure function of (scenario, seed).
+
+Fast path
+---------
+Every message delivery and timer is one queue entry, so the kernel stays
+deliberately lean: heap entries are plain ``(time, seq, action, handle)``
+tuples (no dataclass construction or rich comparison per event -- the seq
+tiebreak means ``action``/``handle`` are never compared), and the number of
+live (non-cancelled) events is tracked incrementally so
+:meth:`Simulator.pending_events` is O(1) even in cancellation-heavy runs
+such as resend-throttled scenarios.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
-
 
 class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulator (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
-class _QueuedEvent:
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    handle: "EventHandle" = field(compare=False)
-
-
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
-    __slots__ = ("cancelled", "time", "tag")
+    __slots__ = ("cancelled", "time", "tag", "_sim")
 
-    def __init__(self, time: float, tag: str = "") -> None:
+    def __init__(self, time: float, tag: str = "", _sim: "Optional[Simulator]" = None) -> None:
         self.cancelled = False
         self.time = time
         self.tag = tag
+        self._sim = _sim
 
     def cancel(self) -> None:
         """Prevent the event from running.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            # Still queued (a popped entry severs the backlink first), so the
+            # simulator's live-event count shrinks by one.
+            if self._sim is not None:
+                self._sim._live_events -= 1
+                self._sim = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -64,8 +70,9 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: list[_QueuedEvent] = []
-        self._seq = itertools.count()
+        self._queue: list[Any] = []
+        self._next_seq = 0
+        self._live_events = 0
         self._events_executed = 0
         self._running = False
         self._stop_requested = False
@@ -85,8 +92,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for ev in self._queue if not ev.handle.cancelled)
+        """Number of non-cancelled events still queued.  O(1)."""
+        return self._live_events
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -99,10 +106,11 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={time:.6f} before now={self._now:.6f}"
             )
-        handle = EventHandle(time, tag)
-        heapq.heappush(
-            self._queue, _QueuedEvent(time, next(self._seq), action, handle)
-        )
+        handle = EventHandle(time, tag, _sim=self)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, action, handle))
+        self._live_events += 1
         return handle
 
     def schedule_in(
@@ -118,13 +126,16 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the single next event.  Returns False if queue is empty."""
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.handle.cancelled:
+        queue = self._queue
+        while queue:
+            time, _seq, action, handle = heapq.heappop(queue)
+            if handle.cancelled:
                 continue
-            self._now = ev.time
+            handle._sim = None
+            self._live_events -= 1
+            self._now = time
             self._events_executed += 1
-            ev.action()
+            action()
             return True
         return False
 
@@ -156,23 +167,26 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         executed = 0
+        queue = self._queue
         try:
-            while self._queue:
+            while queue:
                 if self._stop_requested:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                head = self._queue[0]
-                if head.handle.cancelled:
-                    heapq.heappop(self._queue)
+                head = queue[0]
+                if head[3].cancelled:
+                    heapq.heappop(queue)
                     continue
-                if until is not None and head.time > until:
+                if until is not None and head[0] > until:
                     break
-                heapq.heappop(self._queue)
-                self._now = head.time
+                heapq.heappop(queue)
+                head[3]._sim = None
+                self._live_events -= 1
+                self._now = head[0]
                 self._events_executed += 1
                 executed += 1
-                head.action()
+                head[2]()
         finally:
             self._running = False
         return executed

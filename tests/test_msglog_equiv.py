@@ -1,0 +1,144 @@
+"""Randomized differential test: incremental MessageLog vs naive reference.
+
+The incremental log (:mod:`repro.node.msglog`) keeps flat sorted arrays and
+cached per-sender latest arrivals; the reference
+(:mod:`repro.node.msglog_ref`) is the original rescan-everything
+implementation.  Equivalence is the correctness argument for the fast path:
+drive both through thousands of identical mixed operations -- in-order adds,
+out-of-order corrupt inserts, age/future prunes, key removals, clears --
+and demand identical answers from every public query at every step.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.node.msglog import MessageLog
+from repro.node.msglog_ref import ReferenceMessageLog
+
+KEYS = [
+    ("support", 0, "A"),
+    ("support", 0, "B"),
+    ("approve", 0, "A"),
+    ("ready", 1, "B"),
+    ("init", 2, "C"),
+]
+SENDERS = list(range(8))
+KTHS = (1, 2, 3, 5, 8, 12)
+
+
+def _assert_equivalent(fast: MessageLog, ref: ReferenceMessageLog, rng: random.Random) -> None:
+    assert fast.keys == ref.keys
+    assert fast.total_records() == ref.total_records()
+    for key in KEYS + [("missing", 9, "Z")]:
+        assert fast.senders(key) == ref.senders(key)
+        assert fast.count_distinct(key) == ref.count_distinct(key)
+        assert fast.latest_arrival_per_sender(key) == ref.latest_arrival_per_sender(key)
+        assert fast.earliest_arrival(key) == ref.earliest_arrival(key)
+        for sender in SENDERS:
+            assert fast.has_from(key, sender) == ref.has_from(key, sender)
+        for k in KTHS:
+            assert fast.kth_latest_distinct(key, k) == ref.kth_latest_distinct(key, k)
+        for _ in range(4):
+            a = rng.uniform(-5.0, 120.0)
+            b = a + rng.uniform(0.0, 40.0)
+            assert fast.distinct_senders_in(key, a, b) == ref.distinct_senders_in(key, a, b)
+            assert fast.count_distinct_in(key, a, b) == ref.count_distinct_in(key, a, b)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_differential_mixed_operations(seed: int) -> None:
+    rng = random.Random(seed)
+    fast = MessageLog()
+    ref = ReferenceMessageLog()
+    now = 0.0
+
+    for step in range(2000):
+        roll = rng.random()
+        if roll < 0.55:
+            # Normal arrival: nondecreasing local time, duplicates included.
+            now += rng.choice([0.0, 0.01, 0.3, 1.0])
+            key, sender = rng.choice(KEYS), rng.choice(SENDERS)
+            fast.add(key, sender, now)
+            ref.add(key, sender, now)
+        elif roll < 0.70:
+            # Corruption: arbitrary past or future stamps.
+            t = rng.uniform(-10.0, now + 50.0)
+            key, sender = rng.choice(KEYS), rng.choice(SENDERS)
+            fast.corrupt_insert(key, sender, t)
+            ref.corrupt_insert(key, sender, t)
+        elif roll < 0.78:
+            cutoff = rng.uniform(0.0, now + 5.0)
+            assert fast.prune_older_than(cutoff) == ref.prune_older_than(cutoff)
+        elif roll < 0.86:
+            horizon = rng.uniform(0.0, now + 5.0)
+            assert fast.prune_future(horizon) == ref.prune_future(horizon)
+        elif roll < 0.92:
+            doomed = rng.sample(KEYS, rng.randint(0, 2))
+            fast.remove_keys(doomed)
+            ref.remove_keys(doomed)
+        elif roll < 0.96:
+            kind = rng.choice(["support", "approve", "ready"])
+            fast.remove_matching(lambda k, kind=kind: k[0] == kind)
+            ref.remove_matching(lambda k, kind=kind: k[0] == kind)
+        elif roll < 0.98:
+            # Cheap point queries on every path between full checks.
+            key = rng.choice(KEYS)
+            a = rng.uniform(0.0, now + 1.0)
+            assert fast.count_distinct_in(key, a - 3.0, a) == ref.count_distinct_in(key, a - 3.0, a)
+        else:
+            fast.clear()
+            ref.clear()
+
+        if step % 50 == 0:
+            _assert_equivalent(fast, ref, rng)
+
+    _assert_equivalent(fast, ref, rng)
+
+
+def test_differential_in_order_heavy() -> None:
+    """The protocol's actual pattern: monotone arrivals, periodic prunes."""
+    rng = random.Random(99)
+    fast = MessageLog()
+    ref = ReferenceMessageLog()
+    now = 0.0
+    for step in range(3000):
+        now += 0.05
+        key, sender = rng.choice(KEYS), rng.choice(SENDERS)
+        fast.add(key, sender, now)
+        ref.add(key, sender, now)
+        if step % 200 == 199:
+            cutoff = now - 6.0
+            assert fast.prune_older_than(cutoff) == ref.prune_older_than(cutoff)
+            assert fast.prune_future(now) == ref.prune_future(now)
+        if step % 100 == 0:
+            _assert_equivalent(fast, ref, rng)
+    _assert_equivalent(fast, ref, rng)
+
+
+def test_kth_latest_cache_survives_interleaved_prunes() -> None:
+    """Target the latest-arrival cache: alternate kth queries and mutations."""
+    rng = random.Random(7)
+    fast = MessageLog()
+    ref = ReferenceMessageLog()
+    key = KEYS[0]
+    now = 0.0
+    for _ in range(1500):
+        now += 0.1
+        sender = rng.choice(SENDERS)
+        fast.add(key, sender, now)
+        ref.add(key, sender, now)
+        # Query immediately so the cache is hot before the next mutation.
+        for k in KTHS:
+            assert fast.kth_latest_distinct(key, k) == ref.kth_latest_distinct(key, k)
+        if rng.random() < 0.10:
+            t = rng.uniform(0.0, now + 20.0)
+            fast.corrupt_insert(key, sender, t)
+            ref.corrupt_insert(key, sender, t)
+        if rng.random() < 0.05:
+            assert fast.prune_future(now) == ref.prune_future(now)
+        if rng.random() < 0.05:
+            cutoff = now - rng.uniform(1.0, 10.0)
+            assert fast.prune_older_than(cutoff) == ref.prune_older_than(cutoff)

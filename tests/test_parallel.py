@@ -1,0 +1,107 @@
+"""Tests for the process-pool seed fan-out (repro.harness.parallel).
+
+The contract under test: for any worker count, ``run_seeds_parallel`` /
+``SeedPool.map`` return exactly what the serial loop returns, in seed
+order -- and the experiment drivers wired through it produce bit-identical
+rows with and without ``workers=``.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import pytest
+
+from repro.harness.experiments import (
+    run_e1_validity,
+    run_e3_stabilization,
+    run_e9_scaling,
+)
+from repro.harness.parallel import SeedPool, resolve_workers, run_seeds_parallel
+
+
+def _square_plus(offset: int, seed: int) -> int:
+    return seed * seed + offset
+
+
+def _seed_fingerprint(seed: int) -> tuple:
+    """A tiny pure 'experiment': derive values only from the seed."""
+    from repro.sim.rand import RandomSource
+
+    rng = RandomSource(seed).split("fingerprint")
+    return seed, rng.uniform(0.0, 1.0), rng.randint(0, 10**6)
+
+
+class TestRunSeedsParallel:
+    def test_matches_serial_map(self):
+        seeds = list(range(12))
+        serial = [_square_plus(3, s) for s in seeds]
+        assert run_seeds_parallel(partial(_square_plus, 3), seeds, workers=4) == serial
+
+    def test_workers_one_is_serial(self):
+        seeds = [5, 3, 1]
+        result = run_seeds_parallel(_seed_fingerprint, seeds, workers=1)
+        assert result == [_seed_fingerprint(s) for s in seeds]
+
+    def test_workers_exceeding_seed_count(self):
+        seeds = [2, 7]
+        result = run_seeds_parallel(_seed_fingerprint, seeds, workers=16)
+        assert result == [_seed_fingerprint(s) for s in seeds]
+
+    def test_order_follows_seeds_not_completion(self):
+        seeds = [9, 1, 8, 2, 7]
+        result = run_seeds_parallel(_seed_fingerprint, seeds, workers=3)
+        assert [r[0] for r in result] == seeds
+
+    def test_rng_streams_identical_across_processes(self):
+        seeds = list(range(8))
+        assert run_seeds_parallel(_seed_fingerprint, seeds, workers=4) == [
+            _seed_fingerprint(s) for s in seeds
+        ]
+
+
+class TestSeedPool:
+    def test_pool_reusable_across_map_calls(self):
+        with SeedPool(workers=3) as pool:
+            first = pool.map(partial(_square_plus, 0), range(6))
+            second = pool.map(partial(_square_plus, 10), range(6))
+        assert first == [s * s for s in range(6)]
+        assert second == [s * s + 10 for s in range(6)]
+
+    def test_serial_pool_has_no_executor(self):
+        with SeedPool(workers=None) as pool:
+            assert pool.workers == 1
+            assert pool._executor is None
+            assert pool.map(partial(_square_plus, 1), [4]) == [17]
+
+    def test_close_is_idempotent(self):
+        pool = SeedPool(workers=2).__enter__()
+        pool.close()
+        pool.close()
+
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(6) == 6
+        assert resolve_workers(-1) >= 1
+
+
+class TestDriversBitIdentical:
+    """workers= must never change an experiment's rows."""
+
+    def test_e1_parallel_matches_serial(self):
+        serial = run_e1_validity(ns=(4,), seeds=range(4))
+        for workers in (1, 2, 8):  # 8 > len(seeds)
+            assert run_e1_validity(ns=(4,), seeds=range(4), workers=workers) == serial
+
+    def test_e9_parallel_matches_serial(self):
+        serial = run_e9_scaling(ns=(4, 7), seeds=range(2))
+        assert run_e9_scaling(ns=(4, 7), seeds=range(2), workers=2) == serial
+
+    def test_e3_parallel_matches_serial(self):
+        serial = run_e3_stabilization(n=4, seeds=range(2), garbage_messages=40)
+        parallel = run_e3_stabilization(
+            n=4, seeds=range(2), garbage_messages=40, workers=2
+        )
+        assert parallel == serial

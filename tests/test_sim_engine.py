@@ -220,3 +220,67 @@ class TestPropertyBased:
                 handle.cancel()
         sim.run()
         assert sorted(seen) == sorted(expected)
+
+
+class TestLiveEventAccounting:
+    """pending_events is tracked incrementally -- exercise the bookkeeping."""
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        handle = sim.schedule_at(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_after_execution_is_harmless(self):
+        sim = Simulator()
+        handle = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.run_until(1.5)
+        handle.cancel()  # already executed; must not disturb the count
+        assert sim.pending_events == 1
+        assert sim.run() == 1
+        assert sim.pending_events == 0
+
+    def test_count_tracks_mixed_schedule_cancel_run(self):
+        sim = Simulator()
+        handles = [sim.schedule_at(float(i), lambda: None) for i in range(10)]
+        assert sim.pending_events == 10
+        for handle in handles[::2]:
+            handle.cancel()
+        assert sim.pending_events == 5
+        executed = sim.run()
+        assert executed == 5
+        assert sim.pending_events == 0
+
+    def test_cancel_heavy_queue_pending_is_cheap_and_exact(self):
+        sim = Simulator()
+        handles = [sim.schedule_at(float(i), lambda: None) for i in range(2000)]
+        for handle in handles:
+            if handle.time % 2 == 0:
+                handle.cancel()
+        # Repeated introspection used to be an O(queue) scan per call.
+        for _ in range(100):
+            assert sim.pending_events == 1000
+
+    def test_step_updates_count(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        assert sim.step()
+        assert sim.pending_events == 1
+
+    def test_rescheduling_inside_action_keeps_count(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) < 3:
+                sim.schedule_in(1.0, tick)
+
+        sim.schedule_in(1.0, tick)
+        sim.run()
+        assert ticks == [1.0, 2.0, 3.0]
+        assert sim.pending_events == 0
