@@ -1,6 +1,6 @@
 """Kernel micro-benchmarks for the simulation fast path.
 
-Three layers get a dedicated throughput number, recorded to
+Four layers get a dedicated throughput number, recorded to
 ``BENCH_perf.json`` (see ``benchmarks/conftest.py``):
 
 * ``msglog`` -- the condition-driven window-query path, measured head to
@@ -8,19 +8,31 @@ Three layers get a dedicated throughput number, recorded to
   (the pre-fast-path implementation).  The incremental log must win by at
   least 3x on the window-query workload; this is the acceptance gate for
   the fast-path rewrite and the regression tripwire for future PRs.
+* ``evaluator`` -- the push-based msgd-broadcast block evaluator (threshold
+  subscriptions + deadline timers) against the eager pull evaluator kept in
+  :mod:`repro.core.eval_ref`, fed an identical message stream.  Must win by
+  at least 3x; same gate discipline as the msglog one.
 * ``broadcast`` -- Network.broadcast + delivery dispatch rate.
 * ``events`` -- raw Simulator schedule/execute/cancel throughput.
 
-A miniature E9 end-to-end run rides along so BENCH_perf.json always has a
-whole-pipeline number even when only this file is benchmarked (the full
-``bench_e9_scaling`` refreshes the big configuration).
+Miniature E1/E5/E9 end-to-end runs ride along so BENCH_perf.json always
+captures a whole-pipeline trajectory -- correctness-bound (E1, tracing on),
+speed-bound (E5 vs the TPS'87 baseline), and scaling (E9, tracing on its
+zero-cost disabled path) -- even when only this file is benchmarked (the
+full ``bench_e*`` modules refresh the big configurations).
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import time
 
-from repro.harness.experiments import run_e9_scaling
+from repro.core.eval_ref import ReferenceMsgdBroadcast
+from repro.core.messages import MBEchoMsg, MBEchoPrimeMsg, MBInitMsg, MBInitPrimeMsg
+from repro.core.msgd_broadcast import MsgdBroadcast
+from repro.core.params import ProtocolParams
+from repro.harness.experiments import run_e1_validity, run_e5_msg_driven, run_e9_scaling
 from repro.net.delivery import FixedDelay
 from repro.net.network import Network
 from repro.node.msglog import MessageLog
@@ -136,6 +148,119 @@ def bench_msglog_window_query(benchmark):
 
 
 # ---------------------------------------------------------------------------
+# msgd-broadcast evaluator: push-based vs eager pull reference
+# ---------------------------------------------------------------------------
+EVAL_N = 64
+EVAL_F = 21
+EVAL_ORIGINS = 6
+EVAL_ROUNDS = 2
+
+
+class _EvalHost:
+    """Minimal deterministic host: manual clock, counted observables."""
+
+    trace_enabled = True
+
+    def __init__(self, params: ProtocolParams) -> None:
+        self.params = params
+        self.node_id = 0
+        self.local = 0.0
+        self.sent = 0
+        self.traced = 0
+        self._timers: list[tuple[float, int, object]] = []
+        self._seq = itertools.count()
+
+    def local_now(self) -> float:
+        return self.local
+
+    def broadcast(self, payload: object) -> None:
+        self.sent += 1
+
+    def trace(self, kind: str, **detail: object) -> None:
+        self.traced += 1
+
+    def after_local(self, delay_local: float, action, tag: str = "") -> None:
+        heapq.heappush(self._timers, (self.local + delay_local, next(self._seq), action))
+
+    def advance(self, delta: float) -> None:
+        target = self.local + delta
+        while self._timers and self._timers[0][0] <= target:
+            at, _seq, action = heapq.heappop(self._timers)
+            self.local = max(self.local, at)
+            action()
+        self.local = target
+
+
+def _evaluator_stream(params: ProtocolParams) -> list[tuple[object, int]]:
+    """One deterministic saturated workload: every kind reaches all nodes.
+
+    The first sweep drives every triplet through quorum; a second sweep of
+    duplicate arrivals models the protocol's repetition tail (re-sends and
+    stragglers), where the pull evaluator still pays full window scans and
+    the push evaluator's saturated-state skip is O(1).
+    """
+    stream: list[tuple[object, int]] = []
+    for k in range(1, EVAL_ROUNDS + 1):
+        for origin in range(1, EVAL_ORIGINS + 1):
+            stream.append((MBInitMsg(0, origin, "m", k), origin))
+            for cls in (MBEchoMsg, MBInitPrimeMsg, MBEchoPrimeMsg):
+                for sender in range(params.n):
+                    stream.append((cls(0, origin, "m", k), sender))
+    return stream * 2
+
+
+def _evaluator_run(mb_cls) -> tuple[float, tuple]:
+    params = ProtocolParams(n=EVAL_N, f=EVAL_F, delta=1.0, rho=0.0)
+    host = _EvalHost(params)
+    accepts: list[tuple] = []
+    mb = mb_cls(host, 0, lambda *args: accepts.append(args))
+    mb.set_anchor(0.0)
+    stream = _evaluator_stream(params)
+    tick = params.d / 2048.0  # arrivals trickle in, all well before deadlines
+    start = time.perf_counter()
+    for msg, sender in stream:
+        host.advance(tick)
+        mb.on_message(msg, sender)
+    wall = time.perf_counter() - start
+    digest = (host.sent, len(accepts), len(mb.accepted), len(mb.broadcasters))
+    return wall, digest
+
+
+def bench_evaluator_push_vs_pull(benchmark):
+    # _evaluator_run times the message loop itself (setup excluded); take
+    # the best inner wall of three runs per evaluator.
+    push_s, push_digest = min(_evaluator_run(MsgdBroadcast) for _ in range(3))
+    pull_s, pull_digest = min(_evaluator_run(ReferenceMsgdBroadcast) for _ in range(3))
+    assert push_digest == pull_digest  # same behaviour, or the speedup is fiction
+
+    speedup = pull_s / push_s
+    arrivals = len(_evaluator_stream(ProtocolParams(n=EVAL_N, f=EVAL_F, delta=1.0, rho=0.0)))
+    print_rows(
+        "PK5: msgd evaluator push vs pull",
+        [
+            {
+                "arrivals": arrivals,
+                "push_s": push_s,
+                "pull_s": pull_s,
+                "speedup": speedup,
+                "accepts": push_digest[2],
+            }
+        ],
+    )
+    record_bench_result(
+        "kernel_evaluator_push",
+        kind="kernel",
+        arrivals=arrivals,
+        arrivals_per_s=arrivals / push_s,
+        reference_arrivals_per_s=arrivals / pull_s,
+        speedup_vs_reference=speedup,
+    )
+    benchmark.pedantic(lambda: _evaluator_run(MsgdBroadcast), rounds=3, iterations=1)
+    # Acceptance gate: the push evaluator must beat the eager pull >= 3x.
+    assert speedup >= 3.0, f"evaluator speedup {speedup:.2f}x < 3x"
+
+
+# ---------------------------------------------------------------------------
 # Network broadcast + delivery dispatch
 # ---------------------------------------------------------------------------
 BCAST_NODES = 50
@@ -219,8 +344,44 @@ def bench_event_kernel(benchmark):
 
 
 # ---------------------------------------------------------------------------
-# Miniature E9 end-to-end (full pipeline through the fast path)
+# Miniature E1/E5/E9 end-to-end (full pipeline through the fast path)
 # ---------------------------------------------------------------------------
+def bench_e1_small_end_to_end(benchmark):
+    start = time.perf_counter()
+    rows = run_e1_validity(ns=(4, 7), seeds=range(2))
+    wall = time.perf_counter() - start
+    record_bench_result(
+        "e1_small_end_to_end",
+        kind="end_to_end",
+        ns=[4, 7],
+        seeds=2,
+        wall_s=wall,
+    )
+    print_rows("PK6: E1 (small) end-to-end", rows)
+    benchmark.pedantic(
+        lambda: run_e1_validity(ns=(4, 7), seeds=range(2)), rounds=1, iterations=1
+    )
+
+
+def bench_e5_small_end_to_end(benchmark):
+    start = time.perf_counter()
+    rows = run_e5_msg_driven(delay_fracs=(0.25, 1.0), seeds=range(2))
+    wall = time.perf_counter() - start
+    record_bench_result(
+        "e5_small_end_to_end",
+        kind="end_to_end",
+        delay_fracs=[0.25, 1.0],
+        seeds=2,
+        wall_s=wall,
+    )
+    print_rows("PK7: E5 (small) end-to-end", rows)
+    benchmark.pedantic(
+        lambda: run_e5_msg_driven(delay_fracs=(0.25, 1.0), seeds=range(2)),
+        rounds=1,
+        iterations=1,
+    )
+
+
 def bench_e9_small_end_to_end(benchmark):
     start = time.perf_counter()
     rows = run_e9_scaling(ns=(4, 7, 10), seeds=range(2))

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Local pre-push gate: tier-1 tests + a ~10 second benchmark smoke run that
-# regenerates BENCH_perf.json from the kernel micro-benchmarks and checks it
-# is well-formed.  Usage:  ./scripts/bench_smoke.sh
+# regenerates BENCH_perf.json from the kernel micro-benchmarks, checks it is
+# well-formed, and diffs the kernel throughput numbers against the committed
+# baseline (fail on >20% regression).  Usage:  ./scripts/bench_smoke.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -9,6 +10,16 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 tests =="
 python -m pytest -x -q
+
+# Stash the committed baseline before the bench run overwrites the file.
+BASELINE="$(mktemp)"
+trap 'rm -f "$BASELINE"' EXIT
+if git show HEAD:BENCH_perf.json > "$BASELINE" 2>/dev/null; then
+    HAVE_BASELINE=1
+else
+    HAVE_BASELINE=0
+    echo "(no committed BENCH_perf.json baseline; regression diff skipped)"
+fi
 
 echo
 echo "== benchmark smoke (kernel micro-benchmarks) =="
@@ -33,20 +44,79 @@ for field in ("schema", "generated_at", "machine", "results"):
 results = data["results"]
 required = (
     "kernel_msglog_window_query",
+    "kernel_evaluator_push",
     "kernel_broadcast_dispatch",
     "kernel_events",
+    "e1_small_end_to_end",
+    "e5_small_end_to_end",
     "e9_small_end_to_end",
 )
 missing = [name for name in required if name not in results]
 if missing:
     sys.exit(f"BENCH_perf.json missing results: {missing}")
 
-speedup = results["kernel_msglog_window_query"]["speedup_vs_reference"]
-if speedup < 3.0:
-    sys.exit(f"msglog fast path regressed: {speedup:.2f}x < 3x vs reference")
+msglog = results["kernel_msglog_window_query"]["speedup_vs_reference"]
+if msglog < 3.0:
+    sys.exit(f"msglog fast path regressed: {msglog:.2f}x < 3x vs reference")
+evaluator = results["kernel_evaluator_push"]["speedup_vs_reference"]
+if evaluator < 3.0:
+    sys.exit(f"push evaluator regressed: {evaluator:.2f}x < 3x vs reference")
 
-print(f"ok: {len(results)} results; msglog speedup {speedup:.1f}x vs reference")
+print(
+    f"ok: {len(results)} results; msglog {msglog:.1f}x, "
+    f"evaluator {evaluator:.1f}x vs reference"
+)
 EOF
+
+if [ "$HAVE_BASELINE" = "1" ]; then
+    echo
+    echo "== kernel regression diff vs committed BENCH_perf.json =="
+    BASELINE="$BASELINE" python - <<'EOF'
+import json
+import os
+import sys
+from pathlib import Path
+
+ALLOWED_DROP = 0.20  # fail when a kernel throughput falls >20% below baseline
+THROUGHPUT_KEYS = (
+    "queries_per_s",
+    "arrivals_per_s",
+    "messages_per_s",
+    "events_per_s",
+)
+# speedup_vs_reference ratios are machine-independent and always compared;
+# absolute throughputs are only comparable against a baseline from the same
+# kind of machine.
+RATIO_KEYS = ("speedup_vs_reference",)
+
+old_doc = json.loads(Path(os.environ["BASELINE"]).read_text())
+new_doc = json.loads(Path("BENCH_perf.json").read_text())
+old, new = old_doc["results"], new_doc["results"]
+same_machine = old_doc.get("machine") == new_doc.get("machine")
+if not same_machine:
+    print(
+        "  (baseline recorded on a different machine: "
+        "comparing machine-independent speedup ratios only)"
+    )
+
+failures = []
+for name, old_result in old.items():
+    if old_result.get("kind") != "kernel" or name not in new:
+        continue
+    keys = THROUGHPUT_KEYS + RATIO_KEYS if same_machine else RATIO_KEYS
+    for key in keys:
+        if key in old_result and key in new[name]:
+            before, after = old_result[key], new[name][key]
+            ratio = after / before if before else 1.0
+            marker = "  FAIL" if ratio < 1.0 - ALLOWED_DROP else ""
+            print(f"  {name}.{key}: {before:,.1f} -> {after:,.1f} ({ratio:.2f}x){marker}")
+            if ratio < 1.0 - ALLOWED_DROP:
+                failures.append(f"{name}.{key} dropped to {ratio:.2f}x of baseline")
+if failures:
+    sys.exit("kernel benchmark regression(s): " + "; ".join(failures))
+print("no kernel regression beyond the 20% noise allowance")
+EOF
+fi
 
 echo
 echo "bench smoke passed"

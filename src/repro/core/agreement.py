@@ -70,6 +70,80 @@ class Decision:
 DecisionCallback = Callable[[Decision], None]
 
 
+def distinct_chain_exists(per_level: dict[int, set[int]], r: int) -> bool:
+    """Distinct origins p_1..p_r with an accepted (p_i, m, i) per level?
+
+    A system-of-distinct-representatives check over levels 1..r, solved by
+    backtracking (r <= f is small).  This is the eager reference predicate;
+    :class:`SdrPrefixCache` memoizes it incrementally.
+    """
+    level_sets = []
+    for i in range(1, r + 1):
+        origins = per_level.get(i, set())
+        if not origins:
+            return False
+        level_sets.append(origins)
+    # Smallest sets first makes the backtracking near-linear in practice.
+    order = sorted(range(r), key=lambda i: len(level_sets[i]))
+
+    used: set[int] = set()
+
+    def assign(idx: int) -> bool:
+        if idx == r:
+            return True
+        for origin in level_sets[order[idx]]:
+            if origin not in used:
+                used.add(origin)
+                if assign(idx + 1):
+                    return True
+                used.discard(origin)
+        return False
+
+    return assign(0)
+
+
+class SdrPrefixCache:
+    """Incremental cache of the feasible SDR prefix per candidate value.
+
+    An SDR for levels ``1..r`` restricts to one for ``1..r-1``, so the set
+    of feasible ``r`` is always a prefix ``1..max_sdr``; and adding origins
+    to level sets can only *extend* that prefix.  Block S therefore needs a
+    fresh backtracking search only for values whose origin sets grew since
+    the last check -- and only upward from the cached prefix length.  Any
+    shrinking mutation (cleanup decay, corruption) must call
+    :meth:`invalidate`, which falls back to a from-scratch recompute.
+    """
+
+    __slots__ = ("_max", "_grown")
+
+    def __init__(self) -> None:
+        self._max: dict[Value, int] = {}
+        self._grown: set[Value] = set()
+
+    def grew(self, value: Value) -> None:
+        """Record that a level set of ``value`` gained an origin."""
+        self._grown.add(value)
+
+    def invalidate(self) -> None:
+        """Forget everything (level sets shrank or were rebuilt)."""
+        self._max.clear()
+        self._grown.clear()
+
+    def prefix(
+        self, value: Value, per_level: dict[int, set[int]], max_r: int
+    ) -> int:
+        """Longest ``r`` in ``0..max_r`` with an SDR over levels 1..r."""
+        cached = self._max.get(value)
+        if cached is not None and value not in self._grown:
+            return cached
+        m = cached or 0
+        while m < max_r and distinct_chain_exists(per_level, m + 1):
+            m += 1
+        self._max[value] = m
+        self._grown.discard(value)
+        return m
+
+
 class AgreementInstance:
     """One node's execution state for agreements initiated by one General."""
 
@@ -91,21 +165,28 @@ class AgreementInstance:
         # value -> level k -> set of origins whose (p, (G, m), k) we accepted
         self.accept_levels: dict[Value, dict[int, set[int]]] = {}
         self._deadline_timers: list = []
+        # Incremental Block-S state: cached SDR prefix per value, and the
+        # round deadlines for the current anchor (recomputed if a transient
+        # fault rewrites ``tau_g`` under us).
+        self._sdr = SdrPrefixCache()
+        self._round_deadlines: Optional[tuple[float, list[float]]] = None
 
     # ------------------------------------------------------------------
     # Message routing
     # ------------------------------------------------------------------
     def handle(self, msg: object, sender: int) -> None:
         """Route one delivered protocol message to the right primitive."""
-        if isinstance(msg, InitiatorMsg):
+        # msgd-broadcast traffic dominates (4 kinds x n relays), so it is
+        # dispatched first.
+        if isinstance(msg, (MBInitMsg, MBEchoMsg, MBInitPrimeMsg, MBEchoPrimeMsg)):
+            self.mb.on_message(msg, sender)
+        elif isinstance(msg, (SupportMsg, ApproveMsg, ReadyMsg)):
+            self.ia.on_message(msg, sender)
+        elif isinstance(msg, InitiatorMsg):
             # Block Q1: invoke Initiator-Accept (only the General's own
             # Initiator message counts -- authenticated sender check).
             if sender == self.general_node_id and not self.stopped:
                 self.ia.invoke(msg.value)
-        elif isinstance(msg, (SupportMsg, ApproveMsg, ReadyMsg)):
-            self.ia.on_message(msg, sender)
-        elif isinstance(msg, (MBInitMsg, MBEchoMsg, MBInitPrimeMsg, MBEchoPrimeMsg)):
-            self.mb.on_message(msg, sender)
         else:
             raise TypeError(f"unknown protocol message: {msg!r}")
 
@@ -149,7 +230,10 @@ class AgreementInstance:
             # Block S requires p_i != G.
             return
         per_level = self.accept_levels.setdefault(value, {})
-        per_level.setdefault(k, set()).add(origin)
+        origins = per_level.setdefault(k, set())
+        if origin not in origins:
+            origins.add(origin)
+            self._sdr.grew(value)
         self._check_s()
 
     # ------------------------------------------------------------------
@@ -159,45 +243,32 @@ class AgreementInstance:
         if self.stopped or self.tau_g is None:
             return
         now = self.node.local_now()
-        for r in range(1, self.params.f + 1):
-            if now > self.tau_g + self.params.round_deadline(r):
+        deadlines = self._deadlines_for(self.tau_g)
+        f = self.params.f
+        sdr = self._sdr
+        for r in range(1, f + 1):
+            if now > deadlines[r - 1]:
                 continue
             for value, per_level in self.accept_levels.items():
-                if self._distinct_chain_exists(per_level, r):
+                if sdr.prefix(value, per_level, f) >= r:
                     self._decide(value, relay_round=r + 1)
                     return
+
+    def _deadlines_for(self, tau_g: float) -> list[float]:
+        """Round deadlines ``tau_G + (2r + 1) Phi``, cached per anchor."""
+        cache = self._round_deadlines
+        if cache is None or cache[0] != tau_g:
+            p = self.params
+            deadlines = [tau_g + p.round_deadline(r) for r in range(1, p.f + 1)]
+            self._round_deadlines = (tau_g, deadlines)
+            return deadlines
+        return cache[1]
 
     def _distinct_chain_exists(
         self, per_level: dict[int, set[int]], r: int
     ) -> bool:
-        """Distinct origins p_1..p_r with an accepted (p_i, m, i) per level?
-
-        A system-of-distinct-representatives check over levels 1..r, solved
-        by backtracking (r <= f is small).
-        """
-        level_sets = []
-        for i in range(1, r + 1):
-            origins = per_level.get(i, set())
-            if not origins:
-                return False
-            level_sets.append(origins)
-        # Smallest sets first makes the backtracking near-linear in practice.
-        order = sorted(range(r), key=lambda i: len(level_sets[i]))
-
-        used: set[int] = set()
-
-        def assign(idx: int) -> bool:
-            if idx == r:
-                return True
-            for origin in level_sets[order[idx]]:
-                if origin not in used:
-                    used.add(origin)
-                    if assign(idx + 1):
-                        return True
-                    used.discard(origin)
-            return False
-
-        return assign(0)
+        """Eager SDR predicate (kept for tests; see module-level function)."""
+        return distinct_chain_exists(per_level, r)
 
     # ------------------------------------------------------------------
     # Blocks T and U: aborts at round deadlines
@@ -282,6 +353,8 @@ class AgreementInstance:
         self.stopped = False
         self.returned_at = None
         self.accept_levels.clear()
+        self._sdr.invalidate()
+        self._round_deadlines = None
         for handle in self._deadline_timers:
             handle.cancel()
         self._deadline_timers.clear()
@@ -309,7 +382,8 @@ class AgreementInstance:
             self.reset()
             return
         # Stale accepted-broadcast evidence decays with the mb log; rebuild
-        # the level sets from the surviving accepted records.
+        # the level sets from the surviving accepted records.  The sets may
+        # shrink, so the cached SDR prefixes are no longer trustworthy.
         if self.accept_levels:
             survivors: dict[Value, dict[int, set[int]]] = {}
             for (origin, value, k), _t in self.mb.accepted.items():
@@ -317,6 +391,7 @@ class AgreementInstance:
                     continue
                 survivors.setdefault(value, {}).setdefault(k, set()).add(origin)
             self.accept_levels = survivors
+            self._sdr.invalidate()
 
     # ------------------------------------------------------------------
     # Transient corruption
@@ -341,6 +416,8 @@ class AgreementInstance:
                         per_level.setdefault(k, set()).update(
                             rng.sample(range(self.params.n), rng.randint(1, 2))
                         )
+        # The level sets were rewritten wholesale: recompute from scratch.
+        self._sdr.invalidate()
 
 
 class ProtocolNode(Node):
@@ -461,7 +538,10 @@ class ProtocolNode(Node):
         general = getattr(msg, "general", None)
         if general is None:
             return  # not an ss-Byz-Agree message; ignore silently
-        self.instance(general).handle(msg, envelope.sender)
+        inst = self.instances.get(general)
+        if inst is None:
+            inst = self.instance(general)
+        inst.handle(msg, envelope.sender)
 
     # ------------------------------------------------------------------
     # Results
@@ -516,4 +596,11 @@ class ProtocolNode(Node):
             )
 
 
-__all__ = ["AgreementInstance", "Decision", "DecisionCallback", "ProtocolNode"]
+__all__ = [
+    "AgreementInstance",
+    "Decision",
+    "DecisionCallback",
+    "ProtocolNode",
+    "SdrPrefixCache",
+    "distinct_chain_exists",
+]

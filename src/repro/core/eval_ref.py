@@ -1,53 +1,32 @@
-"""The Initiator-Accept primitive (paper Section 4, Figure 2).
+"""Reference (pull-based) evaluators for the two primitives.
 
-Gives all correct nodes a consistent *relative local-time anchor* ``tau_G``
-for a (possibly Byzantine) General's initiation, plus a single candidate
-value, without assuming any prior synchronization -- the key enabler for
-self-stabilizing agreement.
+These are the *eager* evaluators exactly as they stood before the push-based
+rewrite of :mod:`repro.core.msgd_broadcast` and
+:mod:`repro.core.initiator_accept`: every message arrival re-runs the full
+block cascade, and every block re-issues its window queries against the
+message log.  They are kept verbatim as the behavioural oracle for the
+incremental evaluators -- ``tests/test_eval_equiv.py`` drives both through
+thousands of randomized adversarial schedules (Byzantine corruption,
+pruning, anchor resets) and demands identical send/accept/trace sequences,
+and ``benchmarks/bench_perf_kernel.py`` pits them head to head (the push
+path must win by >= 3x; that gate is the regression tripwire).
 
-Block structure (each block is a guard re-evaluated on message arrival):
-
-* **Block K** (invocation): on ``(Initiator, G, m)``, if the freshness tests
-  of Line K1 pass, record a provisional anchor ``tau - d`` and send
-  ``support``.
-* **Block L**: a weak quorum of recent ``support`` refreshes the anchor
-  estimate (L1/L2); a strong quorum within ``2d`` triggers ``approve`` (L3/L4).
-* **Block M**: a weak quorum of recent ``approve`` arms the ``ready`` flag
-  (M1/M2); a strong quorum triggers the ``ready`` message (M3/M4).
-* **Block N** (untimed): ready amplification (N1/N2) and final acceptance
-  (N3/N4) -- ``I-accept (G, m, tau_G)``.
-* **Cleanup**: decay of messages (``Delta_rmv``), of ``last(G)``
-  (``Delta_0 - 6d``) and of ``last(G, m)`` (``2 Delta_rmv + 9d``).
-
-The bookkeeping variables (``i_values``, ``last(G)``, ``last(G, m)``, the
-``ready`` flag) are all *timestamped and decaying*, which is precisely what
-makes the primitive self-stabilizing: any garbage a transient fault plants in
-them drains out within a bounded number of cleanup cycles.
-
-Fast path
----------
-Unlike msgd-broadcast's anchored windows, Blocks L and M use *sliding*
-windows ``[now - c*d, now]``, and Line L2 has refresh-on-every-arrival side
-effects (``i_values`` expiry, ``last(G, m)``), so arrivals can never skip
-evaluation outright.  Instead the quorum predicates ride the message log's
-latest-arrival fast path: ``count_distinct_in`` with the window ending at
-``now`` is a single bisect on the cached ascending latest-arrival array
-(see :mod:`repro.node.msglog`), and the per-value message keys and quorum
-sizes are computed once instead of per arrival.  The original eager
-evaluator is kept verbatim in :mod:`repro.core.eval_ref` and
-``tests/test_eval_equiv.py`` proves behavioural equivalence.
+Do not "optimize" this module -- its eagerness is its value.  It mirrors
+the differential-reference pattern of :mod:`repro.node.msglog_ref`.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
-from dataclasses import dataclass, field
-from operator import itemgetter
+from dataclasses import dataclass
 from typing import Callable, Optional, Protocol
 
 from repro.core.messages import (
     ApproveMsg,
     InitiatorMsg,
+    MBEchoMsg,
+    MBEchoPrimeMsg,
+    MBInitMsg,
+    MBInitPrimeMsg,
     ReadyMsg,
     SupportMsg,
     Value,
@@ -55,7 +34,6 @@ from repro.core.messages import (
 from repro.core.params import ProtocolParams
 from repro.node.msglog import MessageLog
 from repro.sim.rand import RandomSource
-from repro.sim.trace import ALWAYS_ENABLED
 
 
 class Host(Protocol):
@@ -69,10 +47,248 @@ class Host(Protocol):
     def trace(self, kind: str, **detail: object) -> None: ...
 
 
-# Callback signature: (value, tau_g_local) -> None
-AcceptCallback = Callable[[Value, float], None]
 
-_entry_time = itemgetter(0)
+
+
+# Callback signatures shared with the incremental evaluators.
+MbAcceptCallback = Callable[[int, Value, int, float], None]
+BroadcasterCallback = Optional[Callable[[int], None]]
+IaAcceptCallback = Callable[[Value, float], None]
+
+Triplet = tuple[int, Value, int]  # (p, m, k)
+
+
+class ReferenceMsgdBroadcast:
+    """Pull-based msgd-broadcast context: all (p, m, k) triplets for one General."""
+
+    INIT = "mb_init"
+    ECHO = "mb_echo"
+    INIT_PRIME = "mb_init_prime"
+    ECHO_PRIME = "mb_echo_prime"
+
+    def __init__(
+        self,
+        host: Host,
+        general: int,
+        on_accept: MbAcceptCallback,
+        on_broadcaster: BroadcasterCallback = None,
+    ) -> None:
+        self.host = host
+        self.general = general
+        self.on_accept = on_accept
+        self.on_broadcaster = on_broadcaster
+        self.params = host.params
+
+        self.anchor: Optional[float] = None  # tau_G on this node's clock
+        self.log = MessageLog()
+        self.broadcasters: dict[int, float] = {}  # node -> local add time
+        self.accepted: dict[Triplet, float] = {}  # triplet -> local accept time
+        self._sent: set[tuple[str, Triplet]] = set()
+        self._known_triplets: set[Triplet] = set()
+
+    # ------------------------------------------------------------------
+    # Anchor management
+    # ------------------------------------------------------------------
+    def set_anchor(self, tau_g: float) -> None:
+        """Define ``tau_G``; replays any backlog logged before it was known."""
+        self.anchor = tau_g
+        for triplet in sorted(self._known_triplets, key=repr):
+            self.evaluate(triplet)
+
+    def clear_anchor(self) -> None:
+        """Undefine the anchor (instance reset)."""
+        self.anchor = None
+
+    # ------------------------------------------------------------------
+    # Invocation (Block V)
+    # ------------------------------------------------------------------
+    def invoke(self, value: Value, k: int) -> None:
+        """msgd-broadcast (q, value, k): send init to all (Line V)."""
+        msg = MBInitMsg(self.general, self.host.node_id, value, k)
+        self.host.broadcast(msg)
+        self.host.trace(
+            "mb_invoke", general=self.general, value=value, k=k
+        )
+
+    # ------------------------------------------------------------------
+    # Message intake
+    # ------------------------------------------------------------------
+    def on_message(self, msg: object, sender: int) -> None:
+        """Log an arriving message; evaluate blocks if the anchor is known."""
+        now = self.host.local_now()
+        if isinstance(msg, MBInitMsg):
+            # Only the origin itself can init its own broadcast; the network
+            # authenticates senders, so an init claiming another origin is
+            # Byzantine noise and is discarded (Line W2: "received ... from p").
+            if sender != msg.origin:
+                return
+            kind = self.INIT
+        elif isinstance(msg, MBEchoMsg):
+            kind = self.ECHO
+        elif isinstance(msg, MBInitPrimeMsg):
+            kind = self.INIT_PRIME
+        elif isinstance(msg, MBEchoPrimeMsg):
+            kind = self.ECHO_PRIME
+        else:
+            raise TypeError(f"not a msgd-broadcast message: {msg!r}")
+        triplet: Triplet = (msg.origin, msg.value, msg.k)
+        self._known_triplets.add(triplet)
+        self.log.add((kind,) + triplet, sender, now)
+        if self.anchor is not None:
+            self.evaluate(triplet)
+
+    # ------------------------------------------------------------------
+    # Blocks W, X, Y, Z
+    # ------------------------------------------------------------------
+    def evaluate(self, triplet: Triplet) -> None:
+        """Re-run the blocks for one (p, m, k) triplet."""
+        if self.anchor is None:
+            return
+        now = self.host.local_now()
+        origin, value, k = triplet
+        p = self.params
+        phi = p.phi
+        anchor = self.anchor
+
+        init_key = (self.INIT,) + triplet
+        echo_key = (self.ECHO,) + triplet
+        initp_key = (self.INIT_PRIME,) + triplet
+        echop_key = (self.ECHO_PRIME,) + triplet
+
+        # Primitive instances are "implicitly associated with the agreement
+        # instance that invoked them" (paper Section 3): only messages that
+        # arrived within *this* execution -- i.e. at or after the anchor --
+        # count as evidence.  Stragglers of a previous execution of the same
+        # General predate the current anchor and are scoped out.
+        def fresh_count(key) -> int:
+            return self.log.count_distinct_in(key, anchor, now)
+
+        # Block W: tau_q <= tau_G + 2k Phi -- echo the origin's init.
+        if now <= anchor + 2 * k * phi:
+            if origin in self.log.distinct_senders_in(init_key, anchor, now):
+                self._send_once(self.ECHO, triplet, MBEchoMsg(*((self.general,) + triplet)))
+
+        # Block X: tau_q <= tau_G + (2k + 1) Phi.
+        if now <= anchor + (2 * k + 1) * phi:
+            echoes = fresh_count(echo_key)
+            if echoes >= p.weak_quorum:
+                self._send_once(
+                    self.INIT_PRIME, triplet, MBInitPrimeMsg(*((self.general,) + triplet))
+                )
+            if echoes >= p.strong_quorum:
+                self._accept(triplet, now)
+
+        # Block Y: tau_q <= tau_G + (2k + 2) Phi.
+        if now <= anchor + (2 * k + 2) * phi:
+            init_primes = fresh_count(initp_key)
+            if init_primes >= p.weak_quorum and origin not in self.broadcasters:
+                self.broadcasters[origin] = now
+                self.host.trace(
+                    "mb_broadcaster", general=self.general, origin=origin, k=k
+                )
+                if self.on_broadcaster is not None:
+                    self.on_broadcaster(origin)
+            if init_primes >= p.strong_quorum:
+                self._send_once(
+                    self.ECHO_PRIME, triplet, MBEchoPrimeMsg(*((self.general,) + triplet))
+                )
+
+        # Block Z: at any time.
+        echo_primes = fresh_count(echop_key)
+        if echo_primes >= p.weak_quorum:
+            self._send_once(
+                self.ECHO_PRIME, triplet, MBEchoPrimeMsg(*((self.general,) + triplet))
+            )
+        if echo_primes >= p.strong_quorum:
+            self._accept(triplet, now)
+
+    def _send_once(self, kind: str, triplet: Triplet, payload: object) -> None:
+        """Nodes send specific messages only once (Figure 3 header note)."""
+        if (kind, triplet) in self._sent:
+            return
+        self._sent.add((kind, triplet))
+        self.host.broadcast(payload)
+        self.host.trace(
+            f"{kind}_sent",
+            general=self.general,
+            origin=triplet[0],
+            value=triplet[1],
+            k=triplet[2],
+        )
+
+    def _accept(self, triplet: Triplet, now: float) -> None:
+        """Accept (p, m, k) -- only once per triplet (Line Z5 note)."""
+        if triplet in self.accepted:
+            return
+        self.accepted[triplet] = now
+        origin, value, k = triplet
+        self.host.trace(
+            "mb_accept", general=self.general, origin=origin, value=value, k=k
+        )
+        self.on_accept(origin, value, k, now)
+
+    # ------------------------------------------------------------------
+    # Cleanup, reset, corruption
+    # ------------------------------------------------------------------
+    def cleanup(self) -> None:
+        """Decay rule: drop messages older than ``(2f + 3) Phi``."""
+        now = self.host.local_now()
+        horizon = (2 * self.params.f + 3) * self.params.phi
+        self.log.prune_older_than(now - horizon)
+        self.log.prune_future(now)
+        # Stale derived state ages out on the same horizon.
+        self.broadcasters = {
+            node: t for node, t in self.broadcasters.items() if now - t <= horizon
+        }
+        self.accepted = {
+            trip: t
+            for trip, t in self.accepted.items()
+            if now - t <= horizon and t <= now
+        }
+        self._known_triplets = {
+            trip
+            for trip in self._known_triplets
+            if any(
+                self.log.count_distinct((kind,) + trip) > 0
+                for kind in (self.INIT, self.ECHO, self.INIT_PRIME, self.ECHO_PRIME)
+            )
+        } | set(self.accepted)
+
+    def reset(self) -> None:
+        """Full reset (3d after the agreement instance returns)."""
+        self.anchor = None
+        self.log.clear()
+        self.broadcasters.clear()
+        self.accepted.clear()
+        self._sent.clear()
+        self._known_triplets.clear()
+        self.host.trace("mb_reset", general=self.general)
+
+    def corrupt(self, rng: RandomSource, value_pool: list[Value]) -> None:
+        """Transient fault: scramble anchor, logs, and derived sets."""
+        now = self.host.local_now()
+        p = self.params
+        span = p.delta_stb
+        if rng.chance(0.5):
+            self.anchor = now + rng.uniform(-span, span)
+        for node in range(p.n):
+            if rng.chance(0.3):
+                self.broadcasters[node] = now + rng.uniform(-span, 0)
+        for value in value_pool:
+            for k in range(1, p.f + 2):
+                triplet: Triplet = (rng.randint(0, p.n - 1), value, k)
+                self._known_triplets.add(triplet)
+                if rng.chance(0.3):
+                    self.accepted[triplet] = now + rng.uniform(-span, 0)
+                for kind in (self.INIT, self.ECHO, self.INIT_PRIME, self.ECHO_PRIME):
+                    for sender in range(p.n):
+                        if rng.chance(0.15):
+                            self.log.corrupt_insert(
+                                (kind,) + triplet, sender, now + rng.uniform(-span, span)
+                            )
+        self.host.trace("mb_corrupted", general=self.general)
+
+
 
 
 @dataclass
@@ -132,15 +348,15 @@ class _HistoryVar:
 
     def prune(self, horizon: float) -> None:
         """Drop history before ``horizon`` keeping the last earlier entry."""
-        # Assignment times are nondecreasing, so the last entry before the
-        # horizon is found by bisect; only slice when something drops.
-        idx = bisect_left(self._history, horizon, key=_entry_time)
-        if idx > 1:
-            self._history = self._history[idx - 1 :]
+        keep_from = 0
+        for idx, (time, _value) in enumerate(self._history):
+            if time < horizon:
+                keep_from = idx
+        self._history = self._history[keep_from:]
 
 
-class InitiatorAccept:
-    """One Initiator-Accept instance: this node's view of General ``G``."""
+class ReferenceInitiatorAccept:
+    """Pull-based Initiator-Accept instance: this node's view of General ``G``."""
 
     SUPPORT = "support"
     APPROVE = "approve"
@@ -150,7 +366,7 @@ class InitiatorAccept:
         self,
         host: Host,
         general: int,
-        on_accept: AcceptCallback,
+        on_accept: IaAcceptCallback,
     ) -> None:
         self.host = host
         self.general = general
@@ -171,13 +387,6 @@ class InitiatorAccept:
         self.line_exec: dict[tuple[str, Value], float] = {}
         # Re-send throttle gap (the ablation bench sweeps this).
         self.resend_gap = host.params.d * getattr(host, "resend_gap_d", 1.0)
-        # Cached derived constants and per-value keys (ProtocolParams
-        # recomputes its properties on every access; the blocks are hot).
-        self._d = self.params.d
-        self._weak = self.params.weak_quorum
-        self._strong = self.params.strong_quorum
-        self._value_keys: dict[Value, tuple] = {}
-        self._tracer = getattr(host, "tracer", ALWAYS_ENABLED)
 
     # ------------------------------------------------------------------
     # Small helpers
@@ -187,18 +396,6 @@ class InitiatorAccept:
 
     def _key(self, kind: str, value: Value):
         return (kind, self.general, value)
-
-    def _keys_for(self, value: Value) -> tuple:
-        """(support, approve, ready) keys for one value, built once."""
-        keys = self._value_keys.get(value)
-        if keys is None:
-            general = self.general
-            keys = self._value_keys[value] = (
-                (self.SUPPORT, general, value),
-                (self.APPROVE, general, value),
-                (self.READY, general, value),
-            )
-        return keys
 
     def _last_gm(self, value: Value) -> _HistoryVar:
         if value not in self.last_gm:
@@ -231,8 +428,7 @@ class InitiatorAccept:
         if kind == self.SUPPORT:
             self._own_support_sends.append((now, value))
         self.host.broadcast(payload)
-        if self._tracer.enabled:
-            self.host.trace(f"ia_{kind}_sent", general=self.general, value=value)
+        self.host.trace(f"ia_{kind}_sent", general=self.general, value=value)
 
     def _ignoring(self, value: Value, now: float) -> bool:
         return self.ignore_until.get(value, -float("inf")) > now
@@ -302,7 +498,7 @@ class InitiatorAccept:
         value = msg.value  # type: ignore[attr-defined]
         if self._ignoring(value, now):
             return
-        self.log.add((kind, self.general, value), sender, now)
+        self.log.add(self._key(kind, value), sender, now)
         self.evaluate(value)
 
     # ------------------------------------------------------------------
@@ -318,11 +514,12 @@ class InitiatorAccept:
         self._block_n(value, now)
 
     def _block_l(self, value: Value, now: float) -> None:
-        d = self._d
-        support_key = self._keys_for(value)[0]
+        p = self.params
+        d = p.d
+        support_key = self._key(self.SUPPORT, value)
 
         # L1/L2: weak quorum of support within the shortest window <= 4d.
-        kth = self.log.kth_latest_distinct(support_key, self._weak)
+        kth = self.log.kth_latest_distinct(support_key, p.weak_quorum)
         if kth is not None and now - kth <= 4.0 * d:
             new_recording = kth - 2.0 * d
             entry = self.i_values.get(value)
@@ -337,43 +534,45 @@ class InitiatorAccept:
 
         # L3/L4: strong quorum of support within [tau - 2d, tau] -> approve.
         strong = self.log.count_distinct_in(support_key, now - 2.0 * d, now)
-        if strong >= self._strong and self._may_send(self.APPROVE, value, now):
+        if strong >= p.strong_quorum and self._may_send(self.APPROVE, value, now):
             self._do_send(self.APPROVE, value, ApproveMsg(self.general, value))
             self._touch_last_gm(value, now)
             self.line_exec[("L4", value)] = now
 
     def _block_m(self, value: Value, now: float) -> None:
-        d = self._d
-        approve_key = self._keys_for(value)[1]
+        p = self.params
+        d = p.d
+        approve_key = self._key(self.APPROVE, value)
 
         # M1/M2: weak quorum of approve within [tau - 5d, tau] -> ready flag.
         weak = self.log.count_distinct_in(approve_key, now - 5.0 * d, now)
-        if weak >= self._weak:
+        if weak >= p.weak_quorum:
             self._ready_flag(value).set(now)
             self._touch_last_gm(value, now)
             self.line_exec[("M2", value)] = now
 
         # M3/M4: strong quorum of approve within [tau - 3d, tau] -> ready msg.
         strong = self.log.count_distinct_in(approve_key, now - 3.0 * d, now)
-        if strong >= self._strong and self._may_send(self.READY, value, now):
+        if strong >= p.strong_quorum and self._may_send(self.READY, value, now):
             self._do_send(self.READY, value, ReadyMsg(self.general, value))
             self._touch_last_gm(value, now)
             self.line_exec[("M4", value)] = now
 
     def _block_n(self, value: Value, now: float) -> None:
-        ready_key = self._keys_for(value)[2]
-        if not self._ready_flag(value).is_set(now, self.params.delta_rmv):
+        p = self.params
+        ready_key = self._key(self.READY, value)
+        if not self._ready_flag(value).is_set(now, p.delta_rmv):
             return
 
         # N1/N2: weak quorum of ready messages -> amplify.
         count = self.log.count_distinct(ready_key)
-        if count >= self._weak and self._may_send(self.READY, value, now):
+        if count >= p.weak_quorum and self._may_send(self.READY, value, now):
             self._do_send(self.READY, value, ReadyMsg(self.general, value))
             self._touch_last_gm(value, now)
             self.line_exec[("N2", value)] = now
 
         # N3/N4: strong quorum of ready messages -> I-accept.
-        if count >= self._strong:
+        if count >= p.strong_quorum:
             self._execute_n4(value, now)
 
     def _execute_n4(self, value: Value, now: float) -> None:
@@ -503,4 +702,5 @@ class InitiatorAccept:
         self.host.trace("ia_corrupted", general=self.general)
 
 
-__all__ = ["InitiatorAccept"]
+
+__all__ = ["ReferenceInitiatorAccept", "ReferenceMsgdBroadcast"]

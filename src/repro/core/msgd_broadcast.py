@@ -20,6 +20,38 @@ able to process them").
 Satisfies TPS-1 (Correctness), TPS-2 (Unforgeability), TPS-3 (Relay) and
 TPS-4 (Detection of broadcasters) once the system is stable -- checked
 mechanically by :mod:`repro.harness.properties`.
+
+Push-based evaluation
+---------------------
+The original evaluator (kept verbatim as
+:class:`repro.core.eval_ref.ReferenceMsgdBroadcast`) re-issued up to seven
+window queries per triplet per arrival.  This implementation inverts that
+pull model:
+
+* Each known ``(p, m, k)`` triplet holds a :class:`_TripletState` with four
+  :class:`~repro.node.msglog.FreshWindowWatch` subscriptions -- incremental
+  fresh-distinct-sender counters over ``[anchor, now]`` for init / echo /
+  init' / echo' -- registered with the weak/strong quorum thresholds (and
+  the origin as Block W's sentinel sender).  A threshold crossing fires a
+  callback that flags the state; an arrival that crosses nothing and has no
+  pending future-stamped records is provably unable to newly satisfy any
+  block guard, so it costs one counter update and returns -- O(1) instead
+  of seven window scans.
+* Once every one-shot action of a triplet has fired (echo / init' / echo'
+  sent, accepted, origin a broadcaster), the state is marked *done* and
+  arrivals skip evaluation outright.
+* The ``now <= anchor + c*Phi`` deadline guards are deactivated exactly
+  once by a chained deadline timer scheduled on the simulator (via the
+  host's ``after_local``), instead of being re-derived on every arrival;
+  between a deadline and its timer firing, the retained comparison keeps
+  the boundary semantics bit-identical to the reference.
+* Anything the counters cannot track incrementally -- cleanup pruning,
+  decay of ``broadcasters``/``accepted``, transient corruption, anchor
+  changes -- conservatively marks states stale (or drops them), and the
+  next arrival re-evaluates the full block cascade from the log.
+
+``tests/test_eval_equiv.py`` drives this evaluator and the reference
+through randomized adversarial schedules and demands identical behaviour.
 """
 
 from __future__ import annotations
@@ -34,12 +66,19 @@ from repro.core.messages import (
     Value,
 )
 from repro.core.params import ProtocolParams
-from repro.node.msglog import MessageLog
+from repro.node.msglog import FreshWindowWatch, MessageLog
 from repro.sim.rand import RandomSource
+from repro.sim.trace import ALWAYS_ENABLED
 
 
 class Host(Protocol):
-    """What the primitive needs from its hosting node."""
+    """What the primitive needs from its hosting node.
+
+    ``trace_enabled`` and ``after_local`` are optional extras (resolved via
+    ``getattr``): hosts without them get unguarded tracing and lazy,
+    comparison-based deadline deactivation instead of timers -- behaviour
+    is identical either way.
+    """
 
     node_id: int
     params: ProtocolParams
@@ -55,6 +94,55 @@ AcceptCallback = Callable[[int, Value, int, float], None]
 BroadcasterCallback = Callable[[int], None]
 
 Triplet = tuple[int, Value, int]  # (p, m, k)
+
+
+class _TripletState:
+    """Incremental evaluation state for one (p, m, k) under one anchor."""
+
+    __slots__ = (
+        "anchor",
+        "init_w",
+        "echo_w",
+        "initp_w",
+        "echop_w",
+        "w_deadline",
+        "x_deadline",
+        "y_deadline",
+        "w_active",
+        "x_active",
+        "y_active",
+        "signal",
+        "stale",
+        "done",
+    )
+
+    def __init__(self) -> None:
+        self.signal = False
+        self.stale = True  # first evaluation runs the full cascade
+        self.done = False
+        self.w_active = True
+        self.x_active = True
+        self.y_active = True
+
+    def wake(self, _watch: FreshWindowWatch) -> None:
+        """Threshold-crossing / sentinel-maturation callback."""
+        self.signal = True
+
+    @property
+    def has_pending(self) -> bool:
+        """Future-stamped records that may mature into any counter."""
+        return (
+            self.init_w.has_pending
+            or self.echo_w.has_pending
+            or self.initp_w.has_pending
+            or self.echop_w.has_pending
+        )
+
+    def cancel_watches(self) -> None:
+        self.init_w.cancel()
+        self.echo_w.cancel()
+        self.initp_w.cancel()
+        self.echop_w.cancel()
 
 
 class MsgdBroadcast:
@@ -84,12 +172,23 @@ class MsgdBroadcast:
         self.accepted: dict[Triplet, float] = {}  # triplet -> local accept time
         self._sent: set[tuple[str, Triplet]] = set()
         self._known_triplets: set[Triplet] = set()
+        self._states: dict[Triplet, _TripletState] = {}
+
+        # Cached derived constants (ProtocolParams recomputes per access).
+        self._weak = self.params.weak_quorum
+        self._strong = self.params.strong_quorum
+        self._phi = self.params.phi
+        self._deadline_eps = self.params.d * 1e-9
+        self._after_local = getattr(host, "after_local", None)
+        self._tracer = getattr(host, "tracer", ALWAYS_ENABLED)
 
     # ------------------------------------------------------------------
     # Anchor management
     # ------------------------------------------------------------------
     def set_anchor(self, tau_g: float) -> None:
         """Define ``tau_G``; replays any backlog logged before it was known."""
+        if self._states:
+            self._drop_states()
         self.anchor = tau_g
         for triplet in sorted(self._known_triplets, key=repr):
             self.evaluate(triplet)
@@ -97,6 +196,12 @@ class MsgdBroadcast:
     def clear_anchor(self) -> None:
         """Undefine the anchor (instance reset)."""
         self.anchor = None
+        self._drop_states()
+
+    def _drop_states(self) -> None:
+        for state in self._states.values():
+            state.cancel_watches()
+        self._states.clear()
 
     # ------------------------------------------------------------------
     # Invocation (Block V)
@@ -132,74 +237,182 @@ class MsgdBroadcast:
             raise TypeError(f"not a msgd-broadcast message: {msg!r}")
         triplet: Triplet = (msg.origin, msg.value, msg.k)
         self._known_triplets.add(triplet)
+        # The add feeds the triplet's counters; a quorum crossing or the
+        # origin's init maturing sets state.signal synchronously.
         self.log.add((kind,) + triplet, sender, now)
-        if self.anchor is not None:
+        if self.anchor is None:
+            return
+        state = self._states.get(triplet)
+        if state is None:
             self.evaluate(triplet)
+            return
+        if state.done:
+            return
+        if state.signal or state.stale or state.has_pending:
+            self._run_blocks(triplet, state)
 
     # ------------------------------------------------------------------
     # Blocks W, X, Y, Z
     # ------------------------------------------------------------------
     def evaluate(self, triplet: Triplet) -> None:
-        """Re-run the blocks for one (p, m, k) triplet."""
+        """Run the blocks for one (p, m, k) triplet unconditionally."""
         if self.anchor is None:
             return
+        state = self._states.get(triplet)
+        if state is None:
+            state = self._make_state(triplet)
+        self._run_blocks(triplet, state)
+
+    def _make_state(self, triplet: Triplet) -> _TripletState:
+        anchor = self.anchor
+        phi = self._phi
+        k = triplet[2]
+        state = _TripletState()
+        state.anchor = anchor
+        state.w_deadline = anchor + 2 * k * phi
+        state.x_deadline = anchor + (2 * k + 1) * phi
+        state.y_deadline = anchor + (2 * k + 2) * phi
+        log = self.log
+        wake = state.wake
+        thresholds = (self._weak, self._strong)
+        state.init_w = log.watch(
+            (self.INIT,) + triplet, anchor, sentinel=triplet[0], on_event=wake
+        )
+        state.echo_w = log.watch(
+            (self.ECHO,) + triplet, anchor, thresholds, on_event=wake
+        )
+        state.initp_w = log.watch(
+            (self.INIT_PRIME,) + triplet, anchor, thresholds, on_event=wake
+        )
+        state.echop_w = log.watch(
+            (self.ECHO_PRIME,) + triplet, anchor, thresholds, on_event=wake
+        )
+        self._states[triplet] = state
+        self._arm_deadline_timer(triplet, state)
+        return state
+
+    def _run_blocks(self, triplet: Triplet, state: _TripletState) -> None:
         now = self.host.local_now()
         origin, value, k = triplet
-        p = self.params
-        phi = p.phi
-        anchor = self.anchor
-
-        init_key = (self.INIT,) + triplet
-        echo_key = (self.ECHO,) + triplet
-        initp_key = (self.INIT_PRIME,) + triplet
-        echop_key = (self.ECHO_PRIME,) + triplet
 
         # Primitive instances are "implicitly associated with the agreement
         # instance that invoked them" (paper Section 3): only messages that
         # arrived within *this* execution -- i.e. at or after the anchor --
         # count as evidence.  Stragglers of a previous execution of the same
         # General predate the current anchor and are scoped out.
-        def fresh_count(key) -> int:
-            return self.log.count_distinct_in(key, anchor, now)
 
         # Block W: tau_q <= tau_G + 2k Phi -- echo the origin's init.
-        if now <= anchor + 2 * k * phi:
-            if origin in self.log.distinct_senders_in(init_key, anchor, now):
-                self._send_once(self.ECHO, triplet, MBEchoMsg(*((self.general,) + triplet)))
+        if state.w_active:
+            if now > state.w_deadline:
+                state.w_active = False
+            elif state.init_w.has(origin, now):
+                self._send_once(
+                    self.ECHO, triplet, MBEchoMsg(self.general, origin, value, k)
+                )
 
         # Block X: tau_q <= tau_G + (2k + 1) Phi.
-        if now <= anchor + (2 * k + 1) * phi:
-            echoes = fresh_count(echo_key)
-            if echoes >= p.weak_quorum:
-                self._send_once(
-                    self.INIT_PRIME, triplet, MBInitPrimeMsg(*((self.general,) + triplet))
-                )
-            if echoes >= p.strong_quorum:
-                self._accept(triplet, now)
+        if state.x_active:
+            if now > state.x_deadline:
+                state.x_active = False
+            else:
+                echoes = state.echo_w.count(now)
+                if echoes >= self._weak:
+                    self._send_once(
+                        self.INIT_PRIME,
+                        triplet,
+                        MBInitPrimeMsg(self.general, origin, value, k),
+                    )
+                if echoes >= self._strong:
+                    self._accept(triplet, now)
 
         # Block Y: tau_q <= tau_G + (2k + 2) Phi.
-        if now <= anchor + (2 * k + 2) * phi:
-            init_primes = fresh_count(initp_key)
-            if init_primes >= p.weak_quorum and origin not in self.broadcasters:
-                self.broadcasters[origin] = now
-                self.host.trace(
-                    "mb_broadcaster", general=self.general, origin=origin, k=k
-                )
-                if self.on_broadcaster is not None:
-                    self.on_broadcaster(origin)
-            if init_primes >= p.strong_quorum:
-                self._send_once(
-                    self.ECHO_PRIME, triplet, MBEchoPrimeMsg(*((self.general,) + triplet))
-                )
+        if state.y_active:
+            if now > state.y_deadline:
+                state.y_active = False
+            else:
+                init_primes = state.initp_w.count(now)
+                if init_primes >= self._weak and origin not in self.broadcasters:
+                    self.broadcasters[origin] = now
+                    self.host.trace(
+                        "mb_broadcaster", general=self.general, origin=origin, k=k
+                    )
+                    if self.on_broadcaster is not None:
+                        self.on_broadcaster(origin)
+                if init_primes >= self._strong:
+                    self._send_once(
+                        self.ECHO_PRIME,
+                        triplet,
+                        MBEchoPrimeMsg(self.general, origin, value, k),
+                    )
 
         # Block Z: at any time.
-        echo_primes = fresh_count(echop_key)
-        if echo_primes >= p.weak_quorum:
+        echo_primes = state.echop_w.count(now)
+        if echo_primes >= self._weak:
             self._send_once(
-                self.ECHO_PRIME, triplet, MBEchoPrimeMsg(*((self.general,) + triplet))
+                self.ECHO_PRIME, triplet, MBEchoPrimeMsg(self.general, origin, value, k)
             )
-        if echo_primes >= p.strong_quorum:
+        if echo_primes >= self._strong:
             self._accept(triplet, now)
+
+        state.signal = False
+        state.stale = False
+        sent = self._sent
+        state.done = (
+            triplet in self.accepted
+            and origin in self.broadcasters
+            and (self.ECHO, triplet) in sent
+            and (self.INIT_PRIME, triplet) in sent
+            and (self.ECHO_PRIME, triplet) in sent
+        )
+
+    # ------------------------------------------------------------------
+    # Deadline timers (blocks deactivate exactly once)
+    # ------------------------------------------------------------------
+    def _arm_deadline_timer(self, triplet: Triplet, state: _TripletState) -> None:
+        """Chain one local timer through the W/X/Y deadlines of a state.
+
+        Each firing flips the expired blocks' active flags and reschedules
+        for the next pending deadline, so steady-state arrivals skip even
+        the deadline comparison.  Timers fire ``eps`` after the deadline
+        (the guards are inclusive); the retained ``now <= deadline`` check
+        in :meth:`_run_blocks` covers the gap exactly.
+        """
+        after_local = self._after_local
+        if after_local is None:
+            return  # hosts without timers fall back to lazy deactivation
+
+        # The chain tolerates states being dropped (anchor change, reset):
+        # a stale firing finds a different object in ``_states`` and stops.
+        def fire() -> None:
+            if self._states.get(triplet) is not state:
+                return
+            now = self.host.local_now()
+            if state.w_active and now > state.w_deadline:
+                state.w_active = False
+            if state.x_active and now > state.x_deadline:
+                state.x_active = False
+            if state.y_active and now > state.y_deadline:
+                state.y_active = False
+            next_deadline = None
+            if state.w_active:
+                next_deadline = state.w_deadline
+            elif state.x_active:
+                next_deadline = state.x_deadline
+            elif state.y_active:
+                next_deadline = state.y_deadline
+            if next_deadline is not None:
+                after_local(
+                    max(0.0, next_deadline - now) + self._deadline_eps,
+                    fire,
+                    tag="mb_deadline",
+                )
+
+        now = self.host.local_now()
+        after_local(
+            max(0.0, state.w_deadline - now) + self._deadline_eps,
+            fire,
+            tag="mb_deadline",
+        )
 
     def _send_once(self, kind: str, triplet: Triplet, payload: object) -> None:
         """Nodes send specific messages only once (Figure 3 header note)."""
@@ -207,13 +420,14 @@ class MsgdBroadcast:
             return
         self._sent.add((kind, triplet))
         self.host.broadcast(payload)
-        self.host.trace(
-            f"{kind}_sent",
-            general=self.general,
-            origin=triplet[0],
-            value=triplet[1],
-            k=triplet[2],
-        )
+        if self._tracer.enabled:
+            self.host.trace(
+                f"{kind}_sent",
+                general=self.general,
+                origin=triplet[0],
+                value=triplet[1],
+                k=triplet[2],
+            )
 
     def _accept(self, triplet: Triplet, now: float) -> None:
         """Accept (p, m, k) -- only once per triplet (Line Z5 note)."""
@@ -221,9 +435,10 @@ class MsgdBroadcast:
             return
         self.accepted[triplet] = now
         origin, value, k = triplet
-        self.host.trace(
-            "mb_accept", general=self.general, origin=origin, value=value, k=k
-        )
+        if self._tracer.enabled:
+            self.host.trace(
+                "mb_accept", general=self.general, origin=origin, value=value, k=k
+            )
         self.on_accept(origin, value, k, now)
 
     # ------------------------------------------------------------------
@@ -232,7 +447,7 @@ class MsgdBroadcast:
     def cleanup(self) -> None:
         """Decay rule: drop messages older than ``(2f + 3) Phi``."""
         now = self.host.local_now()
-        horizon = (2 * self.params.f + 3) * self.params.phi
+        horizon = (2 * self.params.f + 3) * self._phi
         self.log.prune_older_than(now - horizon)
         self.log.prune_future(now)
         # Stale derived state ages out on the same horizon.
@@ -252,6 +467,16 @@ class MsgdBroadcast:
                 for kind in (self.INIT, self.ECHO, self.INIT_PRIME, self.ECHO_PRIME)
             )
         } | set(self.accepted)
+        # Pruning and derived-state decay can re-enable block actions the
+        # counters alone would not flag: force full re-evaluation per state
+        # and retire states for forgotten triplets.
+        known = self._known_triplets
+        dead = [trip for trip in self._states if trip not in known]
+        for trip in dead:
+            self._states.pop(trip).cancel_watches()
+        for state in self._states.values():
+            state.stale = True
+            state.done = False
 
     def reset(self) -> None:
         """Full reset (3d after the agreement instance returns)."""
@@ -261,6 +486,7 @@ class MsgdBroadcast:
         self.accepted.clear()
         self._sent.clear()
         self._known_triplets.clear()
+        self._drop_states()
         self.host.trace("mb_reset", general=self.general)
 
     def corrupt(self, rng: RandomSource, value_pool: list[Value]) -> None:
@@ -285,6 +511,9 @@ class MsgdBroadcast:
                             self.log.corrupt_insert(
                                 (kind,) + triplet, sender, now + rng.uniform(-span, span)
                             )
+        # The anchor and every derived set may have changed under the
+        # counters' feet: rebuild evaluation state from scratch.
+        self._drop_states()
         self.host.trace("mb_corrupted", general=self.general)
 
 

@@ -129,7 +129,8 @@ class PulseNode(ProtocolNode):
             return  # residue of a concurrent fallback initiation
         self._last_pulse_local = now
         self.pulses.append(self.sim.now)
-        self.trace("pulse", counter=value[2], initiator=value[1])
+        if self.trace_enabled:
+            self.trace("pulse", counter=value[2], initiator=value[1])
         # Re-anchor the cycle at the pulse for everyone (this is what keeps
         # the timers of correct nodes aligned).
         self._pulse_timer.cancel()
@@ -153,13 +154,16 @@ class PulseSyncCluster:
         seed: int = 0,
         pulse_config: Optional[PulseConfig] = None,
         byzantine: Optional[dict] = None,
+        trace: bool = True,
     ) -> None:
         from repro.faults.byzantine import ByzantineNode
 
         self.params = params
         self.pulse_config = pulse_config or PulseConfig.default_for(params)
         base = Cluster.__new__(Cluster)
-        config = ScenarioConfig(params=params, seed=seed, byzantine=byzantine or {})
+        config = ScenarioConfig(
+            params=params, seed=seed, byzantine=byzantine or {}, trace=trace
+        )
         # Reuse Cluster's wiring but build PulseNodes for the correct ids.
         base.config = config
         base.params = params
@@ -171,7 +175,10 @@ class PulseSyncCluster:
 
         base.rng = RandomSource(config.seed)
         base.sim = Simulator()
-        base.tracer = Tracer(enabled=True)
+        # Pulse trains are recorded on the nodes themselves (``pulses``), so
+        # skew/period measurements stay available with tracing disabled --
+        # long soak runs ride the tracer's zero-cost path.
+        base.tracer = Tracer(enabled=trace)
         base.net = Network(
             base.sim,
             config.policy or UniformDelay(0.1 * params.delta, params.delta),

@@ -70,7 +70,7 @@ def run_e1_validity(
     """Correct General: everyone decides its value within the paper bounds."""
     seed_list = list(seeds)
     rows = []
-    with SeedPool(workers) as pool:
+    with SeedPool.shared(workers) as pool:
         for n in ns:
             params = _params(n)
             results = pool.map(partial(_e1_seed, params), seed_list)
@@ -148,7 +148,7 @@ def run_e2_byzantine_general(
 
     seed_list = list(seeds)
     rows = []
-    with SeedPool(workers) as pool:
+    with SeedPool.shared(workers) as pool:
         for name, byz in attacks(None).items():
             results = pool.map(partial(_e2_seed, params, byz), seed_list)
             agree_ok = sum(1 for agree, _ in results if agree)
@@ -199,7 +199,7 @@ def run_e3_stabilization(
     """Havoc everything, wait Delta_stb, then demand a clean agreement."""
     params = _params(n)
     seed_list = list(seeds)
-    with SeedPool(workers) as pool:
+    with SeedPool.shared(workers) as pool:
         results = pool.map(partial(_e3_seed, params, garbage_messages), seed_list)
     recovered = sum(1 for proposed, _, _ in results if proposed)
     post_validity = sum(1 for _, v_ok, _ in results if v_ok)
@@ -243,7 +243,7 @@ def run_e4_early_stopping(
     params = _params(n)
     seed_list = list(seeds)
     rows = []
-    with SeedPool(workers) as pool:
+    with SeedPool.shared(workers) as pool:
         for f_actual in range(params.f + 1):
             results = pool.map(partial(_e4_seed, params, f_actual), seed_list)
             latencies: list[float] = []
@@ -274,7 +274,12 @@ def run_e4_early_stopping(
 def _e5_seed(
     params: ProtocolParams, policy: DeliveryPolicy, actual_max: float, seed: int
 ) -> tuple:
-    cluster = Cluster(ScenarioConfig(params=params, seed=seed, policy=policy))
+    # Speed experiment: rows are built from decisions and message counters
+    # only, never from the trace, so tracing runs on its zero-cost disabled
+    # path.  Protocol behaviour (and hence every row) is unaffected.
+    cluster = Cluster(
+        ScenarioConfig(params=params, seed=seed, policy=policy, trace=False)
+    )
     t0 = cluster.sim.now
     assert cluster.propose(general=0, value="v")
     cluster.run_for(params.delta_agr + 10 * params.d)
@@ -303,7 +308,7 @@ def run_e5_msg_driven(
     params = _params(n)
     seed_list = list(seeds)
     rows = []
-    with SeedPool(workers) as pool:
+    with SeedPool.shared(workers) as pool:
         for frac in delay_fracs:
             actual_max = frac * params.delta
             policy = UniformDelay(0.1 * actual_max, actual_max)
@@ -367,7 +372,7 @@ def run_e6_resilience(
     seed_list = list(seeds)
     rows = []
     n = 7
-    with SeedPool(workers) as pool:
+    with SeedPool.shared(workers) as pool:
         for byz_count, camp_a, camp_b, label in (
             (2, (1, 2, 3), (4, 5), "n>3f (within bound)"),
             (3, (1, 2), (3, 4), "n<=3f' (beyond bound)"),
@@ -411,7 +416,7 @@ def run_e7_initiator_accept(
     """IA-1A/1B/1C/1D with a correct General; IA-3A under a staggered one."""
     seed_list = list(seeds)
     rows = []
-    with SeedPool(workers) as pool:
+    with SeedPool.shared(workers) as pool:
         for n in ns:
             params = _params(n)
             results = pool.map(partial(_e7_seed, params), seed_list)
@@ -474,7 +479,7 @@ def run_e8_separation(
     """Recurrent initiations (distinct and repeated values): IA-4 bounds."""
     params = _params(n)
     seed_list = list(seeds)
-    with SeedPool(workers) as pool:
+    with SeedPool.shared(workers) as pool:
         results = pool.map(partial(_e8_seed, params, rounds), seed_list)
     sep_ok = sum(1 for sep, _ in results if sep)
     all_ok = sum(1 for _, both in results if both)
@@ -495,7 +500,9 @@ def run_e8_separation(
 # E9 -- Message complexity and scaling
 # ---------------------------------------------------------------------------
 def _e9_seed(params: ProtocolParams, seed: int) -> tuple:
-    cluster = Cluster(ScenarioConfig(params=params, seed=seed))
+    # Scaling experiment: rows read net.sent_count and node decisions only,
+    # so tracing runs disabled (zero-cost path); rows are bit-identical.
+    cluster = Cluster(ScenarioConfig(params=params, seed=seed, trace=False))
     t0 = cluster.sim.now
     base = cluster.net.sent_count
     assert cluster.propose(general=0, value="v")
@@ -515,7 +522,7 @@ def run_e9_scaling(
     """Messages per agreement vs n (expected O(n^2) per phase shape)."""
     seed_list = list(seeds)
     rows = []
-    with SeedPool(workers) as pool:
+    with SeedPool.shared(workers) as pool:
         for n in ns:
             params = _params(n)
             results = pool.map(partial(_e9_seed, params), seed_list)
@@ -578,7 +585,7 @@ def run_e10_classic_fails(
     """Same transient-corruption idea on EIG vs ss-Byz-Agree."""
     params = _params(n)
     seed_list = list(seeds)
-    with SeedPool(workers) as pool:
+    with SeedPool.shared(workers) as pool:
         results = pool.map(partial(_e10_seed, params), seed_list)
     eig_split = sum(1 for outcome, _ in results if outcome == "split")
     eig_clean = sum(1 for outcome, _ in results if outcome == "clean")

@@ -21,6 +21,18 @@ process -- no pool, no pickling, deterministic output *ordering and content*
 exactly as before this subsystem existed.  ``workers`` larger than the seed
 count is fine; the pool simply leaves the extra workers idle.
 
+Pool reuse
+----------
+Worker startup (fork/spawn + interpreter warmup) costs a visible fraction
+of a short driver call, so the executor can outlive a single ``with``
+block: :meth:`SeedPool.shared` returns a per-worker-count cached pool whose
+context exit leaves the processes warm.  Successive ``run_e*`` calls with
+the same ``workers=`` then pay pool startup once per process lifetime; the
+experiment drivers all use this path.  :func:`shutdown_shared_pools`
+releases the warm pools explicitly (the interpreter's atexit handling
+reaps them otherwise), and a one-shot :func:`run_seeds_parallel` exposes
+the same reuse via ``reuse_pool=True``.
+
 The mapped callable and its bound arguments must be picklable: use
 module-level functions (optionally wrapped in :func:`functools.partial`),
 never lambdas or closures.
@@ -33,6 +45,9 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 R = TypeVar("R")
+
+# Warm executors cached by effective worker count (see SeedPool.shared).
+_SHARED_POOLS: dict[int, "SeedPool"] = {}
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -59,25 +74,51 @@ class SeedPool:
     def __init__(self, workers: Optional[int] = None) -> None:
         self._workers = resolve_workers(workers)
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._shared = False
+
+    @classmethod
+    def shared(cls, workers: Optional[int] = None) -> "SeedPool":
+        """A cached, reusable pool for this worker count.
+
+        The first call starts the workers; later calls (and later ``with``
+        blocks) reuse them -- context exit does *not* shut a shared pool
+        down.  Call :meth:`close` or :func:`shutdown_shared_pools` to
+        release the processes.
+        """
+        count = resolve_workers(workers)
+        pool = _SHARED_POOLS.get(count)
+        if pool is None:
+            pool = cls(count)
+            pool._shared = True
+            pool._ensure()
+            _SHARED_POOLS[count] = pool
+        return pool
 
     @property
     def workers(self) -> int:
         """Effective worker count (1 means serial in-process)."""
         return self._workers
 
-    def __enter__(self) -> "SeedPool":
-        if self._workers > 1:
+    def _ensure(self) -> None:
+        if self._workers > 1 and self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self._workers)
+
+    def __enter__(self) -> "SeedPool":
+        self._ensure()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.close()
+        if not self._shared:
+            self.close()
 
     def close(self) -> None:
-        """Shut the pool down (idempotent)."""
+        """Shut the pool down (idempotent); shared pools leave the cache."""
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
+        if self._shared:
+            _SHARED_POOLS.pop(self._workers, None)
+            self._shared = False
 
     def map(self, fn: Callable[[int], R], seeds: Iterable[int]) -> list[R]:
         """Apply ``fn`` to every seed; results come back in seed order."""
@@ -91,14 +132,30 @@ def run_seeds_parallel(
     fn: Callable[[int], R],
     seeds: Sequence[int],
     workers: Optional[int] = None,
+    reuse_pool: bool = False,
 ) -> list[R]:
     """One-shot fan-out: map a picklable per-seed function over ``seeds``.
 
     Equivalent to ``[fn(s) for s in seeds]`` -- same results, same order --
-    but runs on ``workers`` processes when ``workers`` exceeds one.
+    but runs on ``workers`` processes when ``workers`` exceeds one.  With
+    ``reuse_pool=True`` the workers stay warm for the next call (see
+    :meth:`SeedPool.shared`).
     """
+    if reuse_pool:
+        return SeedPool.shared(workers).map(fn, seeds)
     with SeedPool(workers) as pool:
         return pool.map(fn, seeds)
 
 
-__all__ = ["SeedPool", "resolve_workers", "run_seeds_parallel"]
+def shutdown_shared_pools() -> None:
+    """Release every warm shared pool (idempotent)."""
+    for pool in list(_SHARED_POOLS.values()):
+        pool.close()
+
+
+__all__ = [
+    "SeedPool",
+    "resolve_workers",
+    "run_seeds_parallel",
+    "shutdown_shared_pools",
+]

@@ -26,7 +26,7 @@ from repro.sim.rand import RandomSource
 from repro.sim.trace import Tracer
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """A delivered message as seen by the receiver."""
 
@@ -104,10 +104,14 @@ class Network:
     def send(self, sender: int, receiver: int, payload: object) -> None:
         """Send one message; the policy decides delay/drop per copy."""
         self.sent_count += 1
-        if self._tracer is not None:
-            self._tracer.record(
-                self._sim.now, sender, "send", receiver=receiver, payload=payload
-            )
+        tracer = self._tracer
+        if tracer is not None:
+            if tracer.enabled:
+                tracer.record(
+                    self._sim.now, sender, "send", receiver=receiver, payload=payload
+                )
+            else:
+                tracer.bump("send")
         self._dispatch(sender, receiver, payload, authenticated=True)
 
     def broadcast(self, sender: int, payload: object) -> None:
@@ -122,6 +126,13 @@ class Network:
         if self._node_ids is None:
             self._node_ids = sorted(self._receivers)
         tracer = self._tracer
+        counts_only = None
+        if tracer is not None and not tracer.enabled:
+            # Disabled tracer: batch-count the sends, skip per-copy event
+            # builds, and keep only the count-only handle for drops.
+            counts_only = tracer
+            tracer = None
+            counts_only.bump_many("send", len(self._node_ids))
         policy = self._policy
         rng = self._rng
         now = self._sim.now
@@ -140,6 +151,8 @@ class Network:
                     tracer.record(
                         now, sender, "drop", receiver=receiver, payload=payload
                     )
+                elif counts_only is not None:
+                    counts_only.bump("drop")
                 continue
             self._deliver_later(sender, receiver, payload, now, decision.delay)
 
@@ -187,10 +200,10 @@ class Network:
         sent_at: float,
         delay: float,
     ) -> None:
-        self._sim.schedule_in(
-            delay,
-            partial(self._deliver_now, sender, receiver, payload, sent_at),
-            tag=f"deliver:{sender}->{receiver}",
+        # Deliveries are never cancelled: fire-and-forget scheduling skips
+        # the per-copy EventHandle allocation and tag formatting.
+        self._sim.schedule_fire(
+            delay, partial(self._deliver_now, sender, receiver, payload, sent_at)
         )
 
     def _deliver_now(
@@ -208,8 +221,14 @@ class Network:
             sent_at=sent_at,
             delivered_at=now,
         )
-        if self._tracer is not None:
-            self._tracer.record(now, receiver, "deliver", sender=sender, payload=payload)
+        tracer = self._tracer
+        if tracer is not None:
+            if tracer.enabled:
+                tracer.record(
+                    now, receiver, "deliver", sender=sender, payload=payload
+                )
+            else:
+                tracer.bump("deliver")
         self._receivers[receiver](envelope)
 
 

@@ -42,6 +42,7 @@ class Node:
         self.tracer = ctx.tracer
         self.clock = DriftClock(ctx.sim, ctx.clock_config)
         self._timers: list[EventHandle] = []
+        self._timer_compact_at = 256
         self._crashed = False
         ctx.net.register(node_id, self._receive)
 
@@ -92,7 +93,16 @@ class Node:
         handle = self.sim.schedule_in(
             real_delay, guarded, tag=tag or f"timer:{self.node_id}"
         )
-        self._timers.append(handle)
+        timers = self._timers
+        timers.append(handle)
+        if len(timers) > self._timer_compact_at:
+            # Compact executed/cancelled handles so long runs (and the
+            # per-triplet deadline timers of the push evaluators) do not
+            # grow this list without bound.  The next compaction point
+            # doubles with the surviving population, so a node that simply
+            # has many live timers is not rescanned on every append.
+            self._timers = [h for h in timers if h.alive]
+            self._timer_compact_at = max(256, 2 * len(self._timers))
         return handle
 
     def every_local(
@@ -136,13 +146,23 @@ class Node:
         self._crashed = False
 
     # ------------------------------------------------------------------
-    # Tracing helper
+    # Tracing helpers
     # ------------------------------------------------------------------
+    @property
+    def trace_enabled(self) -> bool:
+        """True while full tracing is on -- hot call sites guard on this."""
+        return self.tracer.enabled
+
     def trace(self, kind: str, **detail: object) -> None:
         """Record a trace event attributed to this node, with both clocks."""
-        self.tracer.record(
-            self.sim.now, self.node_id, kind, local_time=self.local_now(), **detail
-        )
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record(
+                self.sim.now, self.node_id, kind, local_time=self.local_now(), **detail
+            )
+        else:
+            # Count-only fast path: skip the clock reads and event build.
+            tracer.bump(kind)
 
 
 __all__ = ["Node", "NodeContext"]

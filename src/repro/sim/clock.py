@@ -77,8 +77,13 @@ class DriftClock:
         return self._offset + self._rate * (real_time - self._epoch)
 
     def local_now(self) -> float:
-        """Unwrapped local reading at the current real time."""
-        return self.local_at(self._sim.now)
+        """Unwrapped local reading at the current real time.
+
+        Inlined affine map: this is the single most-called function in a
+        run (every arrival and timer reads the clock), so it bypasses the
+        ``local_at`` indirection and the simulator's ``now`` property.
+        """
+        return self._offset + self._rate * (self._sim._now - self._epoch)
 
     def display_now(self) -> float:
         """Local reading as the node's hardware would display it (wrapped)."""

@@ -17,10 +17,12 @@ Fast path
 Every message delivery and timer is one queue entry, so the kernel stays
 deliberately lean: heap entries are plain ``(time, seq, action, handle)``
 tuples (no dataclass construction or rich comparison per event -- the seq
-tiebreak means ``action``/``handle`` are never compared), and the number of
+tiebreak means ``action``/``handle`` are never compared), the number of
 live (non-cancelled) events is tracked incrementally so
 :meth:`Simulator.pending_events` is O(1) even in cancellation-heavy runs
-such as resend-throttled scenarios.
+such as resend-throttled scenarios, and fire-and-forget events (message
+deliveries) can skip the :class:`EventHandle` allocation entirely via
+:meth:`Simulator.schedule_fire`.
 """
 
 from __future__ import annotations
@@ -52,6 +54,11 @@ class EventHandle:
             if self._sim is not None:
                 self._sim._live_events -= 1
                 self._sim = None
+
+    @property
+    def alive(self) -> bool:
+        """True while the event is still queued (not executed, not cancelled)."""
+        return self._sim is not None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -121,6 +128,20 @@ class Simulator:
             raise SimulationError(f"negative delay {delay!r}")
         return self.schedule_at(self._now + delay, action, tag)
 
+    def schedule_fire(self, delay: float, action: Callable[[], None]) -> None:
+        """Fire-and-forget scheduling: no :class:`EventHandle`, no tag.
+
+        The handle allocation is measurable at message-delivery rates (one
+        event per copy, never cancelled), so the network fabric uses this
+        lean path.  Counts toward :attr:`pending_events` like any event.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        heapq.heappush(self._queue, (self._now + delay, seq, action, None))
+        self._live_events += 1
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -129,9 +150,10 @@ class Simulator:
         queue = self._queue
         while queue:
             time, _seq, action, handle = heapq.heappop(queue)
-            if handle.cancelled:
-                continue
-            handle._sim = None
+            if handle is not None:
+                if handle.cancelled:
+                    continue
+                handle._sim = None
             self._live_events -= 1
             self._now = time
             self._events_executed += 1
@@ -175,13 +197,15 @@ class Simulator:
                 if max_events is not None and executed >= max_events:
                     break
                 head = queue[0]
-                if head[3].cancelled:
+                handle = head[3]
+                if handle is not None and handle.cancelled:
                     heapq.heappop(queue)
                     continue
                 if until is not None and head[0] > until:
                     break
                 heapq.heappop(queue)
-                head[3]._sim = None
+                if handle is not None:
+                    handle._sim = None
                 self._live_events -= 1
                 self._now = head[0]
                 self._events_executed += 1

@@ -6,6 +6,21 @@ meaningful occurrence -- sends, deliveries, I-accepts, msgd accepts,
 decisions, aborts, corruptions, coherence transitions -- is recorded here as
 a :class:`TraceEvent` carrying both real time and the acting node's local
 time.
+
+Cost discipline
+---------------
+Tracing sits on the hottest paths of the simulator (one event per message
+copy), so:
+
+* :class:`TraceEvent` is a slotted dataclass, and events without detail all
+  share one immutable-by-convention empty dict instead of allocating one
+  each;
+* hot call sites in :mod:`repro.core` / :mod:`repro.node` / :mod:`repro.net`
+  guard on ``Tracer.enabled`` *before* building f-strings and keyword
+  payloads, making disabled tracing genuinely zero-cost there (such guarded
+  kinds are consequently not per-kind counted while disabled; direct
+  :meth:`Tracer.record` calls still count, and :meth:`Tracer.bump` offers
+  the count-only path).
 """
 
 from __future__ import annotations
@@ -13,8 +28,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
+_EMPTY_DETAIL: dict[str, Any] = {}
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One record in the run trace.
 
@@ -30,7 +47,8 @@ class TraceEvent:
         ``"decide"``, ``"abort"``, ``"corrupt"``, ``"coherent"``.
     detail:
         Free-form payload; keys are event-kind specific but stable within a
-        kind (the checkers rely on them).
+        kind (the checkers rely on them).  Events without detail share one
+        empty dict -- treat it as read-only.
     local_time:
         Acting node's local clock reading, when applicable.
     """
@@ -40,6 +58,16 @@ class TraceEvent:
     kind: str
     detail: dict[str, Any] = field(default_factory=dict)
     local_time: Optional[float] = None
+
+
+class _AlwaysEnabled:
+    """Stand-in tracer for hosts that expose none: guards stay truthy."""
+
+    __slots__ = ()
+    enabled = True
+
+
+ALWAYS_ENABLED = _AlwaysEnabled()
 
 
 class Tracer:
@@ -61,19 +89,31 @@ class Tracer:
         local_time: Optional[float] = None,
         **detail: Any,
     ) -> None:
-        """Append an event (cheap no-op when tracing is disabled)."""
+        """Append an event (count-only when tracing is disabled)."""
         self._counts[kind] = self._counts.get(kind, 0) + 1
         if not self.enabled:
             return
         self._events.append(
             TraceEvent(
-                real_time=real_time,
-                node=node,
-                kind=kind,
-                detail=detail,
-                local_time=local_time,
+                real_time,
+                node,
+                kind,
+                detail if detail else _EMPTY_DETAIL,
+                local_time,
             )
         )
+
+    def bump(self, kind: str) -> None:
+        """Count an occurrence without materializing an event.
+
+        The count-only fast path for guarded hot call sites that still want
+        per-kind totals while full tracing is disabled.
+        """
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+
+    def bump_many(self, kind: str, count: int) -> None:
+        """Count ``count`` occurrences of one kind at once (batched bump)."""
+        self._counts[kind] = self._counts.get(kind, 0) + count
 
     # ------------------------------------------------------------------
     # Queries
@@ -115,4 +155,4 @@ class Tracer:
         return len(self._events)
 
 
-__all__ = ["TraceEvent", "Tracer"]
+__all__ = ["ALWAYS_ENABLED", "TraceEvent", "Tracer"]

@@ -10,6 +10,8 @@ from repro.sim.engine import Simulator
 class FakeHost:
     """Implements the primitives' Host protocol with full manual control."""
 
+    trace_enabled = True
+
     def __init__(
         self,
         params: ProtocolParams,
@@ -32,6 +34,11 @@ class FakeHost:
 
     def trace(self, kind: str, **detail: object) -> None:
         self.traced.append((kind, detail))
+
+    def after_local(self, delay_local: float, action, tag: str = ""):
+        """Local-time timers, so the push evaluators' deadline chains run."""
+        real_delay = self.clock.real_delay_for_local(delay_local)
+        return self.sim.schedule_in(real_delay, action, tag=tag)
 
     # Test-control helpers --------------------------------------------------
     def advance(self, real_delta: float) -> None:

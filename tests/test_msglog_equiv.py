@@ -118,6 +118,92 @@ def test_differential_in_order_heavy() -> None:
     _assert_equivalent(fast, ref, rng)
 
 
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_watch_counts_match_window_queries(seed: int) -> None:
+    """FreshWindowWatch == count_distinct_in over adversarial schedules.
+
+    The watch is the push evaluators' counter; the reference answer is the
+    naive log's window query at the same (start, now).  Covers in-order
+    adds, future-stamped corruption maturing over time, prunes (stale ->
+    rebuild), removals, and threshold/sentinel callback discipline.
+    """
+    rng = random.Random(seed)
+    fast = MessageLog()
+    ref = ReferenceMessageLog()
+    key = KEYS[0]
+    start = 5.0
+    events: list[int] = []
+    watch = fast.watch(
+        key, start, thresholds=(3, 5), sentinel=2, on_event=lambda w: events.append(1)
+    )
+    other = fast.watch(key, 0.0)  # second watch on the same key
+    now = 6.0
+
+    for _step in range(3000):
+        roll = rng.random()
+        if roll < 0.55:
+            now += rng.choice([0.0, 0.02, 0.4])
+            sender = rng.choice(SENDERS)
+            fast.add(key, sender, now)
+            ref.add(key, sender, now)
+        elif roll < 0.70:
+            stamp = rng.uniform(-2.0, now + 30.0)
+            sender = rng.choice(SENDERS)
+            fast.corrupt_insert(key, sender, stamp)
+            ref.corrupt_insert(key, sender, stamp)
+        elif roll < 0.80:
+            cutoff = rng.uniform(0.0, now)
+            assert fast.prune_older_than(cutoff) == ref.prune_older_than(cutoff)
+        elif roll < 0.90:
+            assert fast.prune_future(now) == ref.prune_future(now)
+        elif roll < 0.95:
+            now += rng.uniform(0.0, 5.0)  # pure time passage matures pending
+        else:
+            fast.remove_keys([key])
+            ref.remove_keys([key])
+        expected = ref.count_distinct_in(key, start, now)
+        assert watch.count(now) == expected
+        assert other.count(now) == ref.count_distinct_in(key, 0.0, now)
+        for sender in SENDERS[:4]:
+            assert watch.has(sender, now) == (
+                sender in ref.distinct_senders_in(key, start, now)
+            )
+
+    watch.cancel()
+    other.cancel()
+    assert not fast._watches  # registry fully drained
+    assert events, "thresholds/sentinel never fired across 3000 ops"
+
+
+def test_watch_threshold_callback_fires_on_crossings() -> None:
+    """Callback fires exactly at threshold crossings and sentinel maturity."""
+    log = MessageLog()
+    fired: list[int] = []
+    watch = log.watch(
+        ("k",), 0.0, thresholds=(2,), sentinel=9, on_event=lambda w: fired.append(w.count(10.0))
+    )
+    watch.count(0.0)  # build
+    log.add(("k",), 1, 1.0)
+    assert fired == []
+    log.add(("k",), 2, 2.0)  # crosses threshold 2
+    assert len(fired) == 1
+    log.add(("k",), 3, 3.0)  # above threshold: no new crossing
+    assert len(fired) == 1
+    log.add(("k",), 9, 4.0)  # sentinel matures
+    assert len(fired) == 2
+    # A future-stamped sentinel record from corruption fires only once the
+    # observed time passes it.
+    fired.clear()
+    log2 = MessageLog()
+    w2 = log2.watch(("k",), 0.0, sentinel=7, on_event=lambda w: fired.append(1))
+    w2.count(0.0)
+    log2.corrupt_insert(("k",), 7, 50.0)
+    assert fired == []
+    assert w2.count(10.0) == 0
+    assert w2.count(60.0) == 1
+    assert fired == [1]
+
+
 def test_kth_latest_cache_survives_interleaved_prunes() -> None:
     """Target the latest-arrival cache: alternate kth queries and mutations."""
     rng = random.Random(7)

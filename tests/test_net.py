@@ -78,6 +78,27 @@ class TestNetwork:
             net.register(i, inboxes[i].append)
         return sim, net, inboxes
 
+    def test_broadcast_with_drops_and_no_tracer(self):
+        """Lossy policy + tracer=None must not crash (and with a disabled
+        tracer, drops must still be counted via the bump fast path)."""
+        sim = Simulator()
+        net = Network(sim, IncoherentDelivery(1.0, 1.0), RandomSource(2), tracer=None)
+        for i in range(3):
+            net.register(i, lambda env: None)
+        net.broadcast(0, "x")
+        sim.run()
+        assert net.dropped_count == 3
+
+        disabled = Tracer(enabled=False)
+        sim2 = Simulator()
+        net2 = Network(sim2, IncoherentDelivery(1.0, 1.0), RandomSource(2), disabled)
+        for i in range(3):
+            net2.register(i, lambda env: None)
+        net2.broadcast(0, "x")
+        sim2.run()
+        assert disabled.count("send") == 3
+        assert disabled.count("drop") == 3
+
     def test_send_delivers_with_delay(self):
         sim, net, inboxes = self.build()
         net.send(0, 1, "hello")

@@ -17,7 +17,12 @@ from repro.harness.experiments import (
     run_e3_stabilization,
     run_e9_scaling,
 )
-from repro.harness.parallel import SeedPool, resolve_workers, run_seeds_parallel
+from repro.harness.parallel import (
+    SeedPool,
+    resolve_workers,
+    run_seeds_parallel,
+    shutdown_shared_pools,
+)
 
 
 def _square_plus(offset: int, seed: int) -> int:
@@ -85,6 +90,47 @@ class TestSeedPool:
         assert resolve_workers(1) == 1
         assert resolve_workers(6) == 6
         assert resolve_workers(-1) >= 1
+
+
+class TestSharedPools:
+    """SeedPool.shared keeps workers warm across driver calls."""
+
+    def teardown_method(self):
+        shutdown_shared_pools()
+
+    def test_shared_returns_same_instance_per_worker_count(self):
+        a = SeedPool.shared(2)
+        b = SeedPool.shared(2)
+        assert a is b
+        assert SeedPool.shared(None) is SeedPool.shared(1)
+        assert SeedPool.shared(None) is not a
+
+    def test_context_exit_keeps_shared_executor_alive(self):
+        with SeedPool.shared(2) as pool:
+            executor = pool._executor
+            assert executor is not None
+        assert pool._executor is executor  # still warm after exit
+        with SeedPool.shared(2) as again:
+            assert again is pool
+            assert again._executor is executor
+
+    def test_shared_map_matches_serial(self):
+        seeds = list(range(8))
+        serial = [_square_plus(5, s) for s in seeds]
+        assert SeedPool.shared(2).map(partial(_square_plus, 5), seeds) == serial
+        assert run_seeds_parallel(
+            partial(_square_plus, 5), seeds, workers=2, reuse_pool=True
+        ) == serial
+
+    def test_close_evicts_from_cache(self):
+        pool = SeedPool.shared(2)
+        pool.close()
+        assert SeedPool.shared(2) is not pool
+
+    def test_shutdown_shared_pools_is_idempotent(self):
+        SeedPool.shared(2)
+        shutdown_shared_pools()
+        shutdown_shared_pools()
 
 
 class TestDriversBitIdentical:
