@@ -1,0 +1,73 @@
+"""X3 -- fault timelines through the scenario-matrix runner (extension).
+
+Workloads no hand-written ``run_eN`` driver could express: timed, composable
+adversary schedules -- a mid-protocol partition that heals *inside* the
+decision window, a partition that heals only after it, delay storms, bursty
+delivery, and node churn with state loss -- swept over cluster sizes and
+seeds by ``repro.harness.suite``.
+
+What must hold: agreement on every cell and every seed (quantified over the
+nodes that stayed correct; a cleanly-aborting run is legal).  What the rows
+show: the cost -- partition-attributed message loss, elevated latency, and
+runs that abort instead of deciding when the cut outlives the window.
+"""
+
+from repro.harness.suite import run_suite
+
+from benchmarks.conftest import measure_experiment
+
+TIMELINE_SUITE = {
+    "name": "x3-fault-timelines",
+    "seeds": [0, 1, 2, 3, 4],
+    "base": {"delta": 1.0, "rho": 1e-4, "value": "v", "run_for_d": 24.0},
+    "grid": {
+        "n": [4, 7],
+        "timeline": [
+            "none",
+            "partition_heal",
+            "partition_late_heal",
+            "delay_storm",
+            "bursty",
+            "churn",
+        ],
+    },
+}
+
+
+def bench_x3_fault_timelines(benchmark):
+    rows = measure_experiment(
+        benchmark,
+        lambda: run_suite(TIMELINE_SUITE),
+        "X3: fault timelines (scenario matrix)",
+    )
+    by_timeline: dict[str, list[dict]] = {}
+    for row in rows:
+        by_timeline.setdefault(row["timeline"], []).append(row)
+
+    # Agreement survives every adversary schedule, on every seed.
+    for row in rows:
+        assert row["agreement_ok"] == row["runs"], row
+
+    # Fault-free baseline: everyone decides inside the paper's 4d window.
+    for row in by_timeline["none"]:
+        assert row["decided_runs"] == row["runs"]
+        assert row["latency_max_d"] <= 4.0
+
+    # A partition that heals inside the window: loss is attributed to the
+    # partition, and some runs still push the agreement through the cut.
+    heal_rows = by_timeline["partition_heal"]
+    assert all(row["dropped_partition_mean"] > 0 for row in heal_rows)
+    assert sum(row["decided_runs"] for row in heal_rows) >= 1
+
+    # A cut outliving the window costs decisions, never agreement.
+    for row in by_timeline["partition_late_heal"]:
+        assert row["dropped_partition_mean"] > 0
+
+    # Churned nodes are excluded from the quantifier; the others decide.
+    for row in by_timeline["churn"]:
+        assert row["decided_runs"] == row["runs"]
+
+    # Delay storms stay inside the legal envelope: no loss, just latency.
+    for row in by_timeline["delay_storm"]:
+        assert row["dropped_partition_mean"] == 0
+        assert row["decided_runs"] == row["runs"]

@@ -1,0 +1,72 @@
+"""Agreement through scripted faults: timelines and the scenario matrix.
+
+Part 1 drives a single run by hand: a correct General proposes, and one
+``d`` later a partition cuts the cluster in half -- no side holds a strong
+quorum, so quorum collection stalls.  The cut heals at 3d, the protocol's
+re-sends refill the windows, and agreement completes late but intact.
+
+Part 2 expresses the same idea declaratively: a suite config grids fault
+timelines over cluster sizes, ``run_suite`` fans scenario x seed over a
+process pool, and the consolidated report attributes message loss to its
+cause (partition vs. lossy policy).
+
+Run with::
+
+    PYTHONPATH=src python examples/fault_timeline_suite.py
+"""
+
+from repro.core.params import ProtocolParams
+from repro.faults.timeline import FaultScript, Heal, Partition
+from repro.harness import properties
+from repro.harness.scenario import Cluster, ScenarioConfig
+from repro.harness.suite import run_suite, suite_report
+
+
+def single_run() -> None:
+    params = ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4)
+    cluster = Cluster(ScenarioConfig(params=params, seed=1))
+    script = FaultScript(
+        (
+            Partition(at_d=1.0, island=(0, 1, 2)),  # General's side of the cut
+            Heal(at_d=3.0),
+        )
+    )
+    script.install(cluster)
+
+    t0 = cluster.sim.now
+    assert cluster.propose(general=0, value="through-the-cut")
+    cluster.run_for(24 * params.d)
+
+    print("=== one scripted run: partition at 1d, heal at 3d ===")
+    latest = cluster.latest_decision_per_node(0)
+    if not latest:
+        print("  (no node returned: this seed's run aborted cleanly)")
+    for node_id, dec in sorted(latest.items()):
+        latency = (dec.returned_real - t0) / params.d
+        print(f"  node {node_id}: {dec.value!r} at t0 + {latency:.2f}d")
+    agree = properties.agreement(cluster, 0)
+    print(f"  agreement: {agree.holds}")
+    print(
+        f"  drops: partition={cluster.net.dropped_partition} "
+        f"policy={cluster.net.dropped_policy}"
+    )
+
+
+def scenario_matrix() -> None:
+    suite = {
+        "name": "example",
+        "seeds": [0, 1, 2],
+        "base": {"delta": 1.0, "rho": 1e-4, "value": "v", "run_for_d": 24.0},
+        "grid": {
+            "n": [4, 7],
+            "timeline": ["none", "partition_heal", "delay_storm", "churn"],
+        },
+    }
+    rows = run_suite(suite)
+    print()
+    print(suite_report(suite, rows))
+
+
+if __name__ == "__main__":
+    single_run()
+    scenario_matrix()

@@ -11,6 +11,10 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo
+echo "== suite smoke (scenario matrix: 2 timelines x 2 seeds) =="
+python -m repro.cli suite --preset smoke --workers 2
+
 # Stash the committed baseline before the bench run overwrites the file.
 BASELINE="$(mktemp)"
 trap 'rm -f "$BASELINE"' EXIT

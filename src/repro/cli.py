@@ -1,23 +1,34 @@
 """Command-line interface.
 
-Three subcommands::
+Subcommands::
 
     python -m repro.cli constants --n 7 --f 2 --delta 1.0
         Print the derived timing constants for a configuration.
 
     python -m repro.cli run --n 7 --f 2 --seed 3 [--attack equivocate]
         Run one agreement scenario and print per-node outcomes plus the
-        property-checker verdicts.
+        property-checker verdicts.  With ``--seeds 0 1 2 ... --workers K``
+        the per-seed runs fan out over a process pool and a summary table
+        is printed instead.
 
     python -m repro.cli stabilize --n 7 --seed 5
         Run the havoc -> Delta_stb -> agree stabilization scenario and
-        report recovery.
+        report recovery.  Also accepts ``--seeds``/``--workers``.
+
+    python -m repro.cli suite --preset smoke [--config suite.json]
+        Expand a scenario-matrix suite config (grids over n, casts,
+        delivery policies and fault timelines), fan scenario x seed over
+        the pool, and print the consolidated report.
+
+    python -m repro.cli list-experiments
+        List every experiment registered with the scenario engine.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from functools import partial
 from typing import Optional, Sequence
 
 from repro.core.params import BOTTOM, ProtocolParams, max_faults
@@ -29,6 +40,7 @@ from repro.faults.byzantine import (
 )
 from repro.faults.transient import TransientFaultInjector
 from repro.harness import properties
+from repro.harness.parallel import SeedPool
 from repro.harness.scenario import Cluster, ScenarioConfig
 
 ATTACKS = ("none", "equivocate", "staggered", "selective", "crash")
@@ -47,6 +59,21 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--delta", type=float, default=1.0, help="message delay bound")
         p.add_argument("--rho", type=float, default=1e-4, help="clock drift bound")
 
+    def add_fanout_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--seeds",
+            type=int,
+            nargs="+",
+            default=None,
+            help="run these seeds (fanned out over --workers) and summarize",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="process-pool size for per-seed fan-out (default: serial)",
+        )
+
     constants = sub.add_parser("constants", help="print derived timing constants")
     add_model_args(constants)
 
@@ -56,11 +83,27 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--value", default="v", help="the General's value")
     run.add_argument("--general", type=int, default=0)
     run.add_argument("--attack", choices=ATTACKS, default="none")
+    add_fanout_args(run)
 
     stab = sub.add_parser("stabilize", help="havoc -> wait Delta_stb -> agree")
     add_model_args(stab)
     stab.add_argument("--seed", type=int, default=0)
     stab.add_argument("--garbage", type=int, default=300, help="forged messages")
+    add_fanout_args(stab)
+
+    suite = sub.add_parser(
+        "suite", help="run a scenario-matrix suite (grids x timelines x seeds)"
+    )
+    suite.add_argument(
+        "--preset",
+        default=None,
+        help="named suite config (see repro.harness.suite.SUITE_PRESETS)",
+    )
+    suite.add_argument("--config", default=None, help="path to a JSON suite config")
+    suite.add_argument("--csv", action="store_true", help="emit CSV instead of Markdown")
+    add_fanout_args(suite)
+
+    sub.add_parser("list-experiments", help="list registered experiments")
     return parser
 
 
@@ -76,31 +119,89 @@ def cmd_constants(args: argparse.Namespace) -> int:
     return 0
 
 
-def _attack_strategies(args: argparse.Namespace, params: ProtocolParams) -> dict:
-    others = tuple(i for i in range(params.n) if i != args.general)
+def _attack_strategies(
+    attack: str, general: int, params: ProtocolParams
+) -> dict:
+    others = tuple(i for i in range(params.n) if i != general)
     half = len(others) // 2
-    if args.attack == "none":
+    if attack == "none":
         return {}
-    if args.attack == "equivocate":
+    if attack == "equivocate":
         return {
-            args.general: EquivocatingGeneralStrategy(
+            general: EquivocatingGeneralStrategy(
                 "A", "B", others[:half], others[half:]
             )
         }
-    if args.attack == "staggered":
-        return {
-            args.general: StaggeredGeneralStrategy("S", spread_local=10 * params.d)
-        }
-    if args.attack == "selective":
-        return {args.general: SelectiveGeneralStrategy("X", others[: len(others) - 1])}
-    if args.attack == "crash":
-        return {args.general: CrashStrategy()}
-    raise AssertionError(args.attack)
+    if attack == "staggered":
+        return {general: StaggeredGeneralStrategy("S", spread_local=10 * params.d)}
+    if attack == "selective":
+        return {general: SelectiveGeneralStrategy("X", others[: len(others) - 1])}
+    if attack == "crash":
+        return {general: CrashStrategy()}
+    raise AssertionError(attack)
+
+
+# ---------------------------------------------------------------------------
+# Per-seed bodies (module level so they pickle into pool workers)
+# ---------------------------------------------------------------------------
+def _run_one_seed(
+    params: ProtocolParams, attack: str, general: int, value: str, seed: int
+) -> tuple:
+    """One `run` scenario: (agreement, validity, timeliness, decided_nodes)."""
+    byzantine = _attack_strategies(attack, general, params)
+    cluster = Cluster(ScenarioConfig(params=params, seed=seed, byzantine=byzantine))
+    t0 = cluster.sim.now
+    if attack == "none":
+        cluster.propose(general=general, value=value)
+    cluster.run_for(3 * params.delta_agr)
+    agree = properties.agreement(cluster, general).holds
+    latest = cluster.latest_decision_per_node(general)
+    decided = sum(1 for dec in latest.values() if dec.decided)
+    if attack == "none":
+        v_ok = properties.validity(cluster, general, value).holds
+        t_ok = properties.timeliness_validity(cluster, general, t0).holds
+    else:
+        v_ok = t_ok = None
+    return agree, v_ok, t_ok, decided
+
+
+def _stabilize_one_seed(params: ProtocolParams, garbage: int, seed: int) -> tuple:
+    """One `stabilize` scenario: (proposal_unblocked, post_stb_validity)."""
+    cluster = Cluster(ScenarioConfig(params=params, seed=seed))
+    injector = TransientFaultInjector(
+        params, cluster.rng.split("inj"), value_pool=["A", "B", "C"], generals=[0, 1]
+    )
+    cluster.run_for(5 * params.d)
+    injector.havoc(cluster.correct_nodes(), cluster.net, garbage)
+    cluster.run_for(params.delta_stb)
+    since = cluster.sim.now
+    ok = cluster.propose(general=0, value="recovered")
+    cluster.run_for(params.delta_agr + 10 * params.d)
+    validity = properties.validity(cluster, 0, "recovered", since_real=since)
+    return ok, validity.holds
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     params = _params(args)
-    byzantine = _attack_strategies(args, params)
+    if args.seeds is not None:
+        with SeedPool.shared(args.workers) as pool:
+            results = pool.map(
+                partial(_run_one_seed, params, args.attack, args.general, args.value),
+                args.seeds,
+            )
+        all_ok = True
+        for seed, (agree, v_ok, t_ok, decided) in zip(args.seeds, results):
+            verdicts = f"agreement={agree}"
+            seed_ok = agree
+            if v_ok is not None:
+                verdicts += f" validity={v_ok} timeliness={t_ok}"
+                seed_ok = agree and v_ok and t_ok
+            print(f"seed {seed}: {verdicts} decided_nodes={decided}")
+            all_ok = all_ok and seed_ok
+        print(f"{len(args.seeds)} seeds: {'all ok' if all_ok else 'FAILURES'}")
+        return 0 if all_ok else 1
+
+    byzantine = _attack_strategies(args.attack, args.general, params)
     cluster = Cluster(
         ScenarioConfig(params=params, seed=args.seed, byzantine=byzantine)
     )
@@ -130,6 +231,18 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_stabilize(args: argparse.Namespace) -> int:
     params = _params(args)
+    if args.seeds is not None:
+        with SeedPool.shared(args.workers) as pool:
+            results = pool.map(
+                partial(_stabilize_one_seed, params, args.garbage), args.seeds
+            )
+        all_ok = True
+        for seed, (ok, valid) in zip(args.seeds, results):
+            print(f"seed {seed}: proposal_unblocked={ok} post_stb_validity={valid}")
+            all_ok = all_ok and ok and valid
+        print(f"{len(args.seeds)} seeds: {'all recovered' if all_ok else 'FAILURES'}")
+        return 0 if all_ok else 1
+
     cluster = Cluster(ScenarioConfig(params=params, seed=args.seed))
     injector = TransientFaultInjector(
         params, cluster.rng.split("inj"), value_pool=["A", "B", "C"], generals=[0, 1]
@@ -148,6 +261,52 @@ def cmd_stabilize(args: argparse.Namespace) -> int:
     return 0 if (ok and validity.holds) else 1
 
 
+def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.harness.report import rows_to_csv
+    from repro.harness.suite import (
+        SUITE_PRESETS,
+        load_suite_config,
+        run_suite,
+        suite_report,
+    )
+
+    if args.config is not None:
+        config = load_suite_config(args.config)
+    elif args.preset is not None:
+        if args.preset not in SUITE_PRESETS:
+            print(
+                f"unknown preset {args.preset!r}; "
+                f"available: {', '.join(sorted(SUITE_PRESETS))}",
+                file=sys.stderr,
+            )
+            return 2
+        config = SUITE_PRESETS[args.preset]
+    else:
+        print("suite: need --preset or --config", file=sys.stderr)
+        return 2
+
+    rows = run_suite(config, workers=args.workers, seeds=args.seeds)
+    if args.csv:
+        print(rows_to_csv(rows), end="")
+    else:
+        print(suite_report(config, rows))
+    clean = all(row["agreement_ok"] == row["runs"] for row in rows)
+    return 0 if clean else 1
+
+
+def cmd_list_experiments(args: argparse.Namespace) -> int:
+    from repro.harness.registry import list_experiments
+
+    for spec in list_experiments():
+        defaults = ", ".join(
+            f"{key}={value!r}" for key, value in sorted(spec.defaults.items())
+        )
+        print(f"{spec.name:6s} {spec.title}")
+        if defaults:
+            print(f"       defaults: {defaults}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "constants":
@@ -156,6 +315,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_run(args)
     if args.command == "stabilize":
         return cmd_stabilize(args)
+    if args.command == "suite":
+        return cmd_suite(args)
+    if args.command == "list-experiments":
+        return cmd_list_experiments(args)
     raise AssertionError(args.command)
 
 

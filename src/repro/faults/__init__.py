@@ -10,6 +10,11 @@
   node protocol state, clock readings, and puts forged messages in flight,
   modelling the paper's "each node may be at an arbitrary state" starting
   condition.
+* :mod:`repro.faults.timeline` -- declarative fault timelines: a
+  :class:`~repro.faults.timeline.FaultScript` of timed, composable
+  adversary actions (partition/heal, policy swaps, node churn, strategy
+  hot-swaps, scheduled havoc), deterministic from the master seed and
+  replayable at any worker count.
 """
 
 from repro.faults.byzantine import (
@@ -25,11 +30,39 @@ from repro.faults.byzantine import (
     StaggeredGeneralStrategy,
     TwoFacedParticipantStrategy,
 )
+from repro.faults.timeline import (
+    Coherent,
+    Crash,
+    FaultAction,
+    FaultScript,
+    Havoc,
+    Heal,
+    Isolate,
+    Partition,
+    Reconnect,
+    Restart,
+    SwapPolicy,
+    SwapStrategy,
+    build_timeline,
+)
 from repro.faults.transient import TransientFaultInjector
 
 __all__ = [
     "ByzantineNode",
+    "Coherent",
+    "Crash",
     "CrashStrategy",
+    "FaultAction",
+    "FaultScript",
+    "Havoc",
+    "Heal",
+    "Isolate",
+    "Partition",
+    "Reconnect",
+    "Restart",
+    "SwapPolicy",
+    "SwapStrategy",
+    "build_timeline",
     "EquivocatingGeneralStrategy",
     "MirrorParticipantStrategy",
     "NoiseStrategy",

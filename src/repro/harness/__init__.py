@@ -13,11 +13,26 @@
 * :mod:`repro.harness.parallel` -- process-pool seed fan-out; every
   experiment driver takes ``workers=`` and routes its per-seed runs
   through a :class:`~repro.harness.parallel.SeedPool`.
-* :mod:`repro.harness.experiments` -- the E1..E10 experiment drivers that
-  the benchmark suite and EXPERIMENTS.md are generated from.
+* :mod:`repro.harness.registry` -- experiments as data: named
+  :class:`~repro.harness.registry.ExperimentSpec` entries run by one shared
+  :func:`~repro.harness.registry.run_experiment` engine (seeds, ``workers=``
+  fan-out, row aggregation, BENCH_perf.json recording).
+* :mod:`repro.harness.experiments` -- the E1..E10 experiment drivers --
+  thin wrappers over the registry engine -- that the benchmark suite and
+  EXPERIMENTS.md are generated from.
+* :mod:`repro.harness.suite` -- the scenario-matrix runner: declarative
+  suite configs (grids over n, casts, delivery policies and fault
+  timelines) fanned over the pool into one consolidated report.
 """
 
 from repro.harness.parallel import SeedPool, run_seeds_parallel
+from repro.harness.registry import (
+    ExperimentSpec,
+    ScenarioGroup,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
 from repro.harness.metrics import (
     anchor_spread_real,
     decision_latencies,
@@ -30,9 +45,14 @@ from repro.harness.stats import summarize
 
 __all__ = [
     "Cluster",
+    "ExperimentSpec",
     "PropertyReport",
     "ScenarioConfig",
+    "ScenarioGroup",
     "SeedPool",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
     "anchor_spread_real",
     "decision_latencies",
     "decision_spread_real",

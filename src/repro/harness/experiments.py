@@ -1,9 +1,15 @@
 """Experiment drivers E1..E10 (see DESIGN.md section 4).
 
-Each driver runs a family of scenarios and returns a list of row dicts --
-the "table" the paper's corresponding theorem would fill.  The benchmark
-suite (``benchmarks/bench_e*.py``) times and prints them; EXPERIMENTS.md
-records paper-bound vs. measured.
+Each experiment is *data* in the :mod:`repro.harness.registry`: a
+groups-builder expands the sweep kwargs into :class:`~repro.harness.
+registry.ScenarioGroup` entries (a picklable per-seed callable plus a
+parent-side row builder), and the shared :func:`~repro.harness.registry.
+run_experiment` engine handles seeds, ``workers=`` fan-out via
+:meth:`~repro.harness.parallel.SeedPool.shared`, and row aggregation in
+group order.  The public ``run_eN_*`` drivers below are thin wrappers over
+the engine and keep their exact historical signatures and row contents --
+the benchmark suite (``benchmarks/bench_e*.py``) times and prints them;
+EXPERIMENTS.md records paper-bound vs. measured.
 
 Every driver takes ``seeds`` so callers can trade confidence for runtime,
 and ``workers`` to fan the per-seed runs out over a process pool
@@ -33,7 +39,7 @@ from repro.faults.byzantine import (
 )
 from repro.faults.transient import TransientFaultInjector
 from repro.harness import metrics, properties
-from repro.harness.parallel import SeedPool
+from repro.harness.registry import ScenarioGroup, experiment, run_experiment
 from repro.harness.scenario import Cluster, ScenarioConfig
 from repro.harness.stats import summarize
 from repro.net.delivery import DeliveryPolicy, UniformDelay
@@ -62,45 +68,62 @@ def _e1_seed(params: ProtocolParams, seed: int) -> tuple:
     )
 
 
+def _e1_rows(params: ProtocolParams, results: list, seed_list: Sequence[int]) -> list[dict]:
+    ok_validity = ok_timeliness = 0
+    latencies: list[float] = []
+    spreads: list[float] = []
+    for v_ok, t_ok, lats, spread in results:
+        if v_ok:
+            ok_validity += 1
+        if t_ok:
+            ok_timeliness += 1
+        latencies.extend(lats)
+        if spread is not None:
+            spreads.append(spread)
+    lat = summarize(latencies)
+    return [
+        {
+            "n": params.n,
+            "f": params.f,
+            "runs": len(seed_list),
+            "validity_ok": ok_validity,
+            "timeliness_ok": ok_timeliness,
+            "latency_mean_d": lat.mean / params.d if lat else None,
+            "latency_max_d": lat.maximum / params.d if lat else None,
+            "latency_bound_d": 4.0,  # paper: rt(tau_q) <= t0 + 4d
+            "spread_max_d": max(spreads) / params.d if spreads else None,
+            "spread_bound_d": 2.0,  # paper: 2d under validity
+        }
+    ]
+
+
+@experiment(
+    "e1",
+    title="E1: validity and timeliness with a correct General",
+    defaults={"ns": (4, 7, 10, 13), "seeds": range(10)},
+)
+def _e1_groups(ns: Sequence[int] = (4, 7, 10, 13)) -> list[ScenarioGroup]:
+    """Correct General: everyone decides its value within the paper bounds."""
+    groups = []
+    for n in ns:
+        params = _params(n)
+        groups.append(
+            ScenarioGroup(
+                seed_fn=partial(_e1_seed, params),
+                rows=partial(_e1_rows, params),
+                label=f"n={n}",
+            )
+        )
+    return groups
+
+
 def run_e1_validity(
     ns: Sequence[int] = (4, 7, 10, 13),
     seeds: Sequence[int] = range(10),
     workers: Optional[int] = None,
 ) -> list[dict]:
     """Correct General: everyone decides its value within the paper bounds."""
-    seed_list = list(seeds)
-    rows = []
-    with SeedPool.shared(workers) as pool:
-        for n in ns:
-            params = _params(n)
-            results = pool.map(partial(_e1_seed, params), seed_list)
-            ok_validity = ok_timeliness = 0
-            latencies: list[float] = []
-            spreads: list[float] = []
-            for v_ok, t_ok, lats, spread in results:
-                if v_ok:
-                    ok_validity += 1
-                if t_ok:
-                    ok_timeliness += 1
-                latencies.extend(lats)
-                if spread is not None:
-                    spreads.append(spread)
-            lat = summarize(latencies)
-            rows.append(
-                {
-                    "n": n,
-                    "f": params.f,
-                    "runs": len(seed_list),
-                    "validity_ok": ok_validity,
-                    "timeliness_ok": ok_timeliness,
-                    "latency_mean_d": lat.mean / params.d if lat else None,
-                    "latency_max_d": lat.maximum / params.d if lat else None,
-                    "latency_bound_d": 4.0,  # paper: rt(tau_q) <= t0 + 4d
-                    "spread_max_d": max(spreads) / params.d if spreads else None,
-                    "spread_bound_d": 2.0,  # paper: 2d under validity
-                }
-            )
-    return rows
+    return run_experiment("e1", ns=ns, seeds=seeds, workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -115,55 +138,65 @@ def _e2_seed(params: ProtocolParams, byz: dict, seed: int) -> tuple:
     return agree, decided
 
 
+def _e2_rows(name: str, results: list, seed_list: Sequence[int]) -> list[dict]:
+    agree_ok = sum(1 for agree, _ in results if agree)
+    split = sum(1 for agree, _ in results if not agree)
+    decided_runs = sum(1 for _, decided in results if decided)
+    return [
+        {
+            "attack": name,
+            "runs": len(seed_list),
+            "agreement_ok": agree_ok,
+            "splits": split,
+            "runs_with_decision": decided_runs,
+        }
+    ]
+
+
+@experiment(
+    "e2",
+    title="E2: agreement under a Byzantine General",
+    defaults={"n": 7, "seeds": range(10)},
+)
+def _e2_groups(n: int = 7) -> list[ScenarioGroup]:
+    """Adversarial General strategies: all-or-nothing, single value, always."""
+    params = _params(n)
+    others = tuple(range(1, n))
+    half = len(others) // 2
+    attacks = {
+        "equivocate": {
+            0: EquivocatingGeneralStrategy("A", "B", others[:half], others[half:])
+        },
+        "equivocate+twofaced": {
+            0: EquivocatingGeneralStrategy("A", "B", others[:half], others[half:]),
+            n - 1: TwoFacedParticipantStrategy(others[:half]),
+        },
+        "staggered_2d": {0: StaggeredGeneralStrategy("S", spread_local=2 * params.d)},
+        "staggered_8d": {0: StaggeredGeneralStrategy("S", spread_local=8 * params.d)},
+        "staggered_3phi": {
+            0: StaggeredGeneralStrategy("S", spread_local=3 * params.phi),
+            n - 1: MirrorParticipantStrategy(),
+        },
+        "selective_quorum": {0: SelectiveGeneralStrategy("X", others[: n - 2])},
+        "selective_subquorum": {0: SelectiveGeneralStrategy("X", others[:2])},
+    }
+    return [
+        ScenarioGroup(
+            seed_fn=partial(_e2_seed, params, byz),
+            rows=partial(_e2_rows, name),
+            label=name,
+        )
+        for name, byz in attacks.items()
+    ]
+
+
 def run_e2_byzantine_general(
     n: int = 7,
     seeds: Sequence[int] = range(10),
     workers: Optional[int] = None,
 ) -> list[dict]:
     """Adversarial General strategies: all-or-nothing, single value, always."""
-    params = _params(n)
-    others = tuple(range(1, n))
-    half = len(others) // 2
-
-    def attacks(seed_rng_unused):
-        return {
-            "equivocate": {
-                0: EquivocatingGeneralStrategy(
-                    "A", "B", others[:half], others[half:]
-                )
-            },
-            "equivocate+twofaced": {
-                0: EquivocatingGeneralStrategy("A", "B", others[:half], others[half:]),
-                n - 1: TwoFacedParticipantStrategy(others[:half]),
-            },
-            "staggered_2d": {0: StaggeredGeneralStrategy("S", spread_local=2 * params.d)},
-            "staggered_8d": {0: StaggeredGeneralStrategy("S", spread_local=8 * params.d)},
-            "staggered_3phi": {
-                0: StaggeredGeneralStrategy("S", spread_local=3 * params.phi),
-                n - 1: MirrorParticipantStrategy(),
-            },
-            "selective_quorum": {0: SelectiveGeneralStrategy("X", others[: n - 2])},
-            "selective_subquorum": {0: SelectiveGeneralStrategy("X", others[:2])},
-        }
-
-    seed_list = list(seeds)
-    rows = []
-    with SeedPool.shared(workers) as pool:
-        for name, byz in attacks(None).items():
-            results = pool.map(partial(_e2_seed, params, byz), seed_list)
-            agree_ok = sum(1 for agree, _ in results if agree)
-            split = sum(1 for agree, _ in results if not agree)
-            decided_runs = sum(1 for _, decided in results if decided)
-            rows.append(
-                {
-                    "attack": name,
-                    "runs": len(seed_list),
-                    "agreement_ok": agree_ok,
-                    "splits": split,
-                    "runs_with_decision": decided_runs,
-                }
-            )
-    return rows
+    return run_experiment("e2", n=n, seeds=seeds, workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -190,23 +223,18 @@ def _e3_seed(params: ProtocolParams, garbage_messages: int, seed: int) -> tuple:
     return proposed, v_ok, t_ok
 
 
-def run_e3_stabilization(
-    n: int = 7,
-    seeds: Sequence[int] = range(10),
-    garbage_messages: int = 300,
-    workers: Optional[int] = None,
+def _e3_rows(
+    params: ProtocolParams,
+    garbage_messages: int,
+    results: list,
+    seed_list: Sequence[int],
 ) -> list[dict]:
-    """Havoc everything, wait Delta_stb, then demand a clean agreement."""
-    params = _params(n)
-    seed_list = list(seeds)
-    with SeedPool.shared(workers) as pool:
-        results = pool.map(partial(_e3_seed, params, garbage_messages), seed_list)
     recovered = sum(1 for proposed, _, _ in results if proposed)
     post_validity = sum(1 for _, v_ok, _ in results if v_ok)
     post_timeliness = sum(1 for _, _, t_ok in results if t_ok)
     return [
         {
-            "n": n,
+            "n": params.n,
             "f": params.f,
             "runs": len(seed_list),
             "garbage_messages": garbage_messages,
@@ -216,6 +244,34 @@ def run_e3_stabilization(
             "stabilization_bound_d": params.delta_stb / params.d,
         }
     ]
+
+
+@experiment(
+    "e3",
+    title="E3: self-stabilization from arbitrary state",
+    defaults={"n": 7, "garbage_messages": 300, "seeds": range(10)},
+)
+def _e3_groups(n: int = 7, garbage_messages: int = 300) -> list[ScenarioGroup]:
+    """Havoc everything, wait Delta_stb, then demand a clean agreement."""
+    params = _params(n)
+    return [
+        ScenarioGroup(
+            seed_fn=partial(_e3_seed, params, garbage_messages),
+            rows=partial(_e3_rows, params, garbage_messages),
+        )
+    ]
+
+
+def run_e3_stabilization(
+    n: int = 7,
+    seeds: Sequence[int] = range(10),
+    garbage_messages: int = 300,
+    workers: Optional[int] = None,
+) -> list[dict]:
+    """Havoc everything, wait Delta_stb, then demand a clean agreement."""
+    return run_experiment(
+        "e3", n=n, garbage_messages=garbage_messages, seeds=seeds, workers=workers
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -234,38 +290,55 @@ def _e4_seed(params: ProtocolParams, f_actual: int, seed: int) -> tuple:
     )
 
 
+def _e4_rows(
+    params: ProtocolParams, f_actual: int, results: list, seed_list: Sequence[int]
+) -> list[dict]:
+    latencies: list[float] = []
+    validity_ok = 0
+    for v_ok, lats in results:
+        if v_ok:
+            validity_ok += 1
+        latencies.extend(lats)
+    lat = summarize(latencies)
+    return [
+        {
+            "n": params.n,
+            "f": params.f,
+            "f_actual": f_actual,
+            "runs": len(seed_list),
+            "validity_ok": validity_ok,
+            "latency_mean_d": lat.mean / params.d if lat else None,
+            "latency_max_d": lat.maximum / params.d if lat else None,
+            "worstcase_bound_d": params.delta_agr / params.d,
+        }
+    ]
+
+
+@experiment(
+    "e4",
+    title="E4: early stopping in the actual fault count",
+    defaults={"n": 13, "seeds": range(10)},
+)
+def _e4_groups(n: int = 13) -> list[ScenarioGroup]:
+    """Crash-faulty subsets of size f' = 0..f; latency tracks f', not f."""
+    params = _params(n)
+    return [
+        ScenarioGroup(
+            seed_fn=partial(_e4_seed, params, f_actual),
+            rows=partial(_e4_rows, params, f_actual),
+            label=f"f'={f_actual}",
+        )
+        for f_actual in range(params.f + 1)
+    ]
+
+
 def run_e4_early_stopping(
     n: int = 13,
     seeds: Sequence[int] = range(10),
     workers: Optional[int] = None,
 ) -> list[dict]:
     """Crash-faulty subsets of size f' = 0..f; latency tracks f', not f."""
-    params = _params(n)
-    seed_list = list(seeds)
-    rows = []
-    with SeedPool.shared(workers) as pool:
-        for f_actual in range(params.f + 1):
-            results = pool.map(partial(_e4_seed, params, f_actual), seed_list)
-            latencies: list[float] = []
-            validity_ok = 0
-            for v_ok, lats in results:
-                if v_ok:
-                    validity_ok += 1
-                latencies.extend(lats)
-            lat = summarize(latencies)
-            rows.append(
-                {
-                    "n": n,
-                    "f": params.f,
-                    "f_actual": f_actual,
-                    "runs": len(seed_list),
-                    "validity_ok": validity_ok,
-                    "latency_mean_d": lat.mean / params.d if lat else None,
-                    "latency_max_d": lat.maximum / params.d if lat else None,
-                    "worstcase_bound_d": params.delta_agr / params.d,
-                }
-            )
-    return rows
+    return run_experiment("e4", n=n, seeds=seeds, workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -293,12 +366,35 @@ def _e5_seed(
     return ss_lat, tps_lat
 
 
-def run_e5_msg_driven(
-    n: int = 7,
-    delay_fracs: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 1.0),
-    seeds: Sequence[int] = range(5),
-    workers: Optional[int] = None,
+def _e5_rows(
+    params: ProtocolParams, frac: float, results: list, seed_list: Sequence[int]
 ) -> list[dict]:
+    ss_lat: list[float] = []
+    tps_lat: list[float] = []
+    for ss, tp in results:
+        ss_lat.extend(ss)
+        tps_lat.extend(tp)
+    ss = summarize(ss_lat)
+    tp = summarize(tps_lat)
+    return [
+        {
+            "actual_delay_frac": frac,
+            "ss_latency_mean": ss.mean if ss else None,
+            "tps_latency_mean": tp.mean if tp else None,
+            "speedup": (tp.mean / ss.mean) if ss and tp and ss.mean > 0 else None,
+            "phi": params.phi,
+        }
+    ]
+
+
+@experiment(
+    "e5",
+    title="E5: message-driven vs time-driven rounds",
+    defaults={"n": 7, "delay_fracs": (0.1, 0.25, 0.5, 0.75, 1.0), "seeds": range(5)},
+)
+def _e5_groups(
+    n: int = 7, delay_fracs: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 1.0)
+) -> list[ScenarioGroup]:
     """Latency of ss-Byz-Agree vs TPS'87 as actual delay shrinks below delta.
 
     The model bound ``delta`` (hence ``d``, ``Phi``) is fixed; the *actual*
@@ -306,32 +402,30 @@ def run_e5_msg_driven(
     actual-network speed, the lock-step baseline at ``Phi`` granularity.
     """
     params = _params(n)
-    seed_list = list(seeds)
-    rows = []
-    with SeedPool.shared(workers) as pool:
-        for frac in delay_fracs:
-            actual_max = frac * params.delta
-            policy = UniformDelay(0.1 * actual_max, actual_max)
-            results = pool.map(
-                partial(_e5_seed, params, policy, actual_max), seed_list
+    groups = []
+    for frac in delay_fracs:
+        actual_max = frac * params.delta
+        policy = UniformDelay(0.1 * actual_max, actual_max)
+        groups.append(
+            ScenarioGroup(
+                seed_fn=partial(_e5_seed, params, policy, actual_max),
+                rows=partial(_e5_rows, params, frac),
+                label=f"delay={frac}",
             )
-            ss_lat: list[float] = []
-            tps_lat: list[float] = []
-            for ss, tp in results:
-                ss_lat.extend(ss)
-                tps_lat.extend(tp)
-            ss = summarize(ss_lat)
-            tp = summarize(tps_lat)
-            rows.append(
-                {
-                    "actual_delay_frac": frac,
-                    "ss_latency_mean": ss.mean if ss else None,
-                    "tps_latency_mean": tp.mean if tp else None,
-                    "speedup": (tp.mean / ss.mean) if ss and tp and ss.mean > 0 else None,
-                    "phi": params.phi,
-                }
-            )
-    return rows
+        )
+    return groups
+
+
+def run_e5_msg_driven(
+    n: int = 7,
+    delay_fracs: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 1.0),
+    seeds: Sequence[int] = range(5),
+    workers: Optional[int] = None,
+) -> list[dict]:
+    """Latency of ss-Byz-Agree vs TPS'87 as actual delay shrinks below delta."""
+    return run_experiment(
+        "e5", n=n, delay_fracs=delay_fracs, seeds=seeds, workers=workers
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -362,38 +456,55 @@ def _e6_seed(
     return properties.agreement(cluster, 0).holds
 
 
+def _e6_rows(
+    label: str, n: int, byz_count: int, results: list, seed_list: Sequence[int]
+) -> list[dict]:
+    agree_ok = sum(1 for agree in results if agree)
+    splits = sum(1 for agree in results if not agree)
+    return [
+        {
+            "condition": label,
+            "n": n,
+            "byzantine": byz_count,
+            "runs": len(seed_list),
+            "agreement_ok": agree_ok,
+            "splits": splits,
+        }
+    ]
+
+
+@experiment(
+    "e6",
+    title="E6: resilience boundary n > 3f",
+    defaults={"seeds": range(10)},
+)
+def _e6_groups() -> list[ScenarioGroup]:
+    """The split-world attack at n = 7: provably harmless with f' = 2
+    Byzantine nodes (n > 3f'), and a working partition with f' = 3
+    (n <= 3f') -- the resilience bound is tight."""
+    n = 7
+    groups = []
+    for byz_count, camp_a, camp_b, label in (
+        (2, (1, 2, 3), (4, 5), "n>3f (within bound)"),
+        (3, (1, 2), (3, 4), "n<=3f' (beyond bound)"),
+    ):
+        params = ProtocolParams(n=n, f=2, delta=1.0, rho=DEFAULT_RHO)
+        groups.append(
+            ScenarioGroup(
+                seed_fn=partial(_e6_seed, params, byz_count, camp_a, camp_b),
+                rows=partial(_e6_rows, label, n, byz_count),
+                label=label,
+            )
+        )
+    return groups
+
+
 def run_e6_resilience(
     seeds: Sequence[int] = range(10),
     workers: Optional[int] = None,
 ) -> list[dict]:
-    """The split-world attack at n = 7: provably harmless with f' = 2
-    Byzantine nodes (n > 3f'), and a working partition with f' = 3
-    (n <= 3f') -- the resilience bound is tight."""
-    seed_list = list(seeds)
-    rows = []
-    n = 7
-    with SeedPool.shared(workers) as pool:
-        for byz_count, camp_a, camp_b, label in (
-            (2, (1, 2, 3), (4, 5), "n>3f (within bound)"),
-            (3, (1, 2), (3, 4), "n<=3f' (beyond bound)"),
-        ):
-            params = ProtocolParams(n=n, f=2, delta=1.0, rho=DEFAULT_RHO)
-            results = pool.map(
-                partial(_e6_seed, params, byz_count, camp_a, camp_b), seed_list
-            )
-            agree_ok = sum(1 for agree in results if agree)
-            splits = sum(1 for agree in results if not agree)
-            rows.append(
-                {
-                    "condition": label,
-                    "n": n,
-                    "byzantine": byz_count,
-                    "runs": len(seed_list),
-                    "agreement_ok": agree_ok,
-                    "splits": splits,
-                }
-            )
-    return rows
+    """The split-world attack at n = 7, within and beyond the n > 3f bound."""
+    return run_experiment("e6", seeds=seeds, workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -408,45 +519,62 @@ def _e7_seed(params: ProtocolParams, seed: int) -> tuple:
     return rep.holds, rep.details["accept_spread"], rep.details["anchor_spread"]
 
 
+def _e7_rows(params: ProtocolParams, results: list, seed_list: Sequence[int]) -> list[dict]:
+    ia_ok = 0
+    accept_spreads: list[float] = []
+    anchor_spreads: list[float] = []
+    for holds, accept_spread, anchor_spread in results:
+        if holds:
+            ia_ok += 1
+        if accept_spread is not None:
+            accept_spreads.append(accept_spread)
+        if anchor_spread is not None:
+            anchor_spreads.append(anchor_spread)
+    return [
+        {
+            "n": params.n,
+            "f": params.f,
+            "runs": len(seed_list),
+            "ia1_ok": ia_ok,
+            "accept_spread_max_d": max(accept_spreads) / params.d
+            if accept_spreads
+            else None,
+            "accept_spread_bound_d": 2.0,
+            "anchor_spread_max_d": max(anchor_spreads) / params.d
+            if anchor_spreads
+            else None,
+            "anchor_spread_bound_d": 1.0,
+        }
+    ]
+
+
+@experiment(
+    "e7",
+    title="E7: Initiator-Accept bounds",
+    defaults={"ns": (4, 7, 10), "seeds": range(10)},
+)
+def _e7_groups(ns: Sequence[int] = (4, 7, 10)) -> list[ScenarioGroup]:
+    """IA-1A/1B/1C/1D with a correct General; IA-3A under a staggered one."""
+    groups = []
+    for n in ns:
+        params = _params(n)
+        groups.append(
+            ScenarioGroup(
+                seed_fn=partial(_e7_seed, params),
+                rows=partial(_e7_rows, params),
+                label=f"n={n}",
+            )
+        )
+    return groups
+
+
 def run_e7_initiator_accept(
     ns: Sequence[int] = (4, 7, 10),
     seeds: Sequence[int] = range(10),
     workers: Optional[int] = None,
 ) -> list[dict]:
     """IA-1A/1B/1C/1D with a correct General; IA-3A under a staggered one."""
-    seed_list = list(seeds)
-    rows = []
-    with SeedPool.shared(workers) as pool:
-        for n in ns:
-            params = _params(n)
-            results = pool.map(partial(_e7_seed, params), seed_list)
-            ia_ok = 0
-            accept_spreads: list[float] = []
-            anchor_spreads: list[float] = []
-            for holds, accept_spread, anchor_spread in results:
-                if holds:
-                    ia_ok += 1
-                if accept_spread is not None:
-                    accept_spreads.append(accept_spread)
-                if anchor_spread is not None:
-                    anchor_spreads.append(anchor_spread)
-            rows.append(
-                {
-                    "n": n,
-                    "f": params.f,
-                    "runs": len(seed_list),
-                    "ia1_ok": ia_ok,
-                    "accept_spread_max_d": max(accept_spreads) / params.d
-                    if accept_spreads
-                    else None,
-                    "accept_spread_bound_d": 2.0,
-                    "anchor_spread_max_d": max(anchor_spreads) / params.d
-                    if anchor_spreads
-                    else None,
-                    "anchor_spread_bound_d": 1.0,
-                }
-            )
-    return rows
+    return run_experiment("e7", ns=ns, seeds=seeds, workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -470,22 +598,14 @@ def _e8_seed(params: ProtocolParams, rounds: int, seed: int) -> tuple:
     return sep, both
 
 
-def run_e8_separation(
-    n: int = 7,
-    rounds: int = 3,
-    seeds: Sequence[int] = range(5),
-    workers: Optional[int] = None,
+def _e8_rows(
+    params: ProtocolParams, rounds: int, results: list, seed_list: Sequence[int]
 ) -> list[dict]:
-    """Recurrent initiations (distinct and repeated values): IA-4 bounds."""
-    params = _params(n)
-    seed_list = list(seeds)
-    with SeedPool.shared(workers) as pool:
-        results = pool.map(partial(_e8_seed, params, rounds), seed_list)
     sep_ok = sum(1 for sep, _ in results if sep)
     all_ok = sum(1 for _, both in results if both)
     return [
         {
-            "n": n,
+            "n": params.n,
             "rounds": rounds + 1,
             "runs": len(seed_list),
             "separation_ok": sep_ok,
@@ -494,6 +614,32 @@ def run_e8_separation(
             "same_bounds_d": (6.0, 2 * params.delta_rmv / params.d - 3.0),
         }
     ]
+
+
+@experiment(
+    "e8",
+    title="E8: separation across recurrent agreements",
+    defaults={"n": 7, "rounds": 3, "seeds": range(5)},
+)
+def _e8_groups(n: int = 7, rounds: int = 3) -> list[ScenarioGroup]:
+    """Recurrent initiations (distinct and repeated values): IA-4 bounds."""
+    params = _params(n)
+    return [
+        ScenarioGroup(
+            seed_fn=partial(_e8_seed, params, rounds),
+            rows=partial(_e8_rows, params, rounds),
+        )
+    ]
+
+
+def run_e8_separation(
+    n: int = 7,
+    rounds: int = 3,
+    seeds: Sequence[int] = range(5),
+    workers: Optional[int] = None,
+) -> list[dict]:
+    """Recurrent initiations (distinct and repeated values): IA-4 bounds."""
+    return run_experiment("e8", n=n, rounds=rounds, seeds=seeds, workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -514,35 +660,53 @@ def _e9_seed(params: ProtocolParams, seed: int) -> tuple:
     )
 
 
+def _e9_rows(params: ProtocolParams, results: list, seed_list: Sequence[int]) -> list[dict]:
+    n = params.n
+    msg_counts: list[float] = []
+    latencies: list[float] = []
+    for sent, lats in results:
+        msg_counts.append(sent)
+        latencies.extend(lats)
+    msgs = summarize(msg_counts)
+    lat = summarize(latencies)
+    return [
+        {
+            "n": n,
+            "f": params.f,
+            "messages_mean": msgs.mean if msgs else None,
+            "messages_per_n2": msgs.mean / (n * n) if msgs else None,
+            "latency_mean_d": lat.mean / params.d if lat else None,
+        }
+    ]
+
+
+@experiment(
+    "e9",
+    title="E9: message complexity and latency vs n",
+    defaults={"ns": (4, 7, 10, 13, 16, 19, 22, 25), "seeds": range(3)},
+)
+def _e9_groups(ns: Sequence[int] = (4, 7, 10, 13, 16, 19, 22, 25)) -> list[ScenarioGroup]:
+    """Messages per agreement vs n (expected O(n^2) per phase shape)."""
+    groups = []
+    for n in ns:
+        params = _params(n)
+        groups.append(
+            ScenarioGroup(
+                seed_fn=partial(_e9_seed, params),
+                rows=partial(_e9_rows, params),
+                label=f"n={n}",
+            )
+        )
+    return groups
+
+
 def run_e9_scaling(
     ns: Sequence[int] = (4, 7, 10, 13, 16, 19, 22, 25),
     seeds: Sequence[int] = range(3),
     workers: Optional[int] = None,
 ) -> list[dict]:
     """Messages per agreement vs n (expected O(n^2) per phase shape)."""
-    seed_list = list(seeds)
-    rows = []
-    with SeedPool.shared(workers) as pool:
-        for n in ns:
-            params = _params(n)
-            results = pool.map(partial(_e9_seed, params), seed_list)
-            msg_counts: list[float] = []
-            latencies: list[float] = []
-            for sent, lats in results:
-                msg_counts.append(sent)
-                latencies.extend(lats)
-            msgs = summarize(msg_counts)
-            lat = summarize(latencies)
-            rows.append(
-                {
-                    "n": n,
-                    "f": params.f,
-                    "messages_mean": msgs.mean if msgs else None,
-                    "messages_per_n2": msgs.mean / (n * n) if msgs else None,
-                    "latency_mean_d": lat.mean / params.d if lat else None,
-                }
-            )
-    return rows
+    return run_experiment("e9", ns=ns, seeds=seeds, workers=workers)
 
 
 # ---------------------------------------------------------------------------
@@ -577,23 +741,14 @@ def _e10_seed(params: ProtocolParams, seed: int) -> tuple:
     return eig_outcome, ss_recovered
 
 
-def run_e10_classic_fails(
-    n: int = 7,
-    seeds: Sequence[int] = range(10),
-    workers: Optional[int] = None,
-) -> list[dict]:
-    """Same transient-corruption idea on EIG vs ss-Byz-Agree."""
-    params = _params(n)
-    seed_list = list(seeds)
-    with SeedPool.shared(workers) as pool:
-        results = pool.map(partial(_e10_seed, params), seed_list)
+def _e10_rows(params: ProtocolParams, results: list, seed_list: Sequence[int]) -> list[dict]:
     eig_split = sum(1 for outcome, _ in results if outcome == "split")
     eig_clean = sum(1 for outcome, _ in results if outcome == "clean")
     eig_agree_wrong = sum(1 for outcome, _ in results if outcome == "wrong")
     ss_recovered = sum(1 for _, recovered in results if recovered)
     return [
         {
-            "n": n,
+            "n": params.n,
             "runs": len(seed_list),
             "eig_agreed_on_garbage": eig_agree_wrong,
             "eig_disagreement": eig_split,
@@ -601,6 +756,31 @@ def run_e10_classic_fails(
             "ss_byz_agree_recovered": ss_recovered,
         }
     ]
+
+
+@experiment(
+    "e10",
+    title="E10: classic protocol fails from arbitrary state",
+    defaults={"n": 7, "seeds": range(10)},
+)
+def _e10_groups(n: int = 7) -> list[ScenarioGroup]:
+    """Same transient-corruption idea on EIG vs ss-Byz-Agree."""
+    params = _params(n)
+    return [
+        ScenarioGroup(
+            seed_fn=partial(_e10_seed, params),
+            rows=partial(_e10_rows, params),
+        )
+    ]
+
+
+def run_e10_classic_fails(
+    n: int = 7,
+    seeds: Sequence[int] = range(10),
+    workers: Optional[int] = None,
+) -> list[dict]:
+    """Same transient-corruption idea on EIG vs ss-Byz-Agree."""
+    return run_experiment("e10", n=n, seeds=seeds, workers=workers)
 
 
 __all__ = [

@@ -52,6 +52,8 @@ def message_stats(cluster: Cluster) -> dict[str, int]:
         "sent": cluster.net.sent_count,
         "delivered": cluster.net.delivered_count,
         "dropped": cluster.net.dropped_count,
+        "dropped_partition": cluster.net.dropped_partition,
+        "dropped_policy": cluster.net.dropped_policy,
     }
 
 

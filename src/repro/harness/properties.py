@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro.core.params import BOTTOM
 from repro.harness import metrics
@@ -65,19 +65,30 @@ def _slack(cluster: Cluster) -> float:
 # Core agreement properties (Theorem 3)
 # ---------------------------------------------------------------------------
 def agreement(
-    cluster: Cluster, general: int, since_real: float = 0.0
+    cluster: Cluster,
+    general: int,
+    since_real: float = 0.0,
+    exclude: Sequence[int] = (),
 ) -> PropertyReport:
     """If any correct node decides (G, m), all correct nodes decide (G, m).
 
     Checked over each node's *latest* outcome after ``since_real`` (earlier
-    outcomes may predate stabilization).
+    outcomes may predate stabilization).  ``exclude`` removes nodes that
+    stopped being correct mid-run (e.g. churned by a fault timeline): a
+    crashed-and-restarted node is *non-faulty but not correct* in the
+    paper's Definition 4, so the guarantee is quantified over the others.
     """
-    latest = cluster.latest_decision_per_node(general, since_real)
+    excluded = set(exclude)
+    latest = {
+        node: dec
+        for node, dec in cluster.latest_decision_per_node(general, since_real).items()
+        if node not in excluded
+    }
     values = metrics.decision_values(latest.values())
     if not values:
         return PropertyReport("agreement", True, {"note": "no correct node decided"})
     single_value = len(values) == 1
-    everyone = set(latest) == set(cluster.correct_ids) and all(
+    everyone = set(latest) == set(cluster.correct_ids) - excluded and all(
         dec.decided for dec in latest.values()
     )
     return PropertyReport(

@@ -7,25 +7,34 @@ messages may be dropped, delayed arbitrarily, reordered, and spurious
 messages with forged sender identities may be injected -- everything except
 the one thing the model never allows, which is breaking sender
 authentication *after* the network becomes correct.
+
+The fabric keeps per-cause drop counters (``dropped_partition`` for copies
+suppressed by a severed link or node cut, ``dropped_policy`` for ordinary
+lossy-policy drops; ``dropped_count`` is their sum) so scenario reports can
+attribute message loss to the adversary action that caused it.
 """
 
 from repro.net.delivery import (
     AdversarialDelay,
+    BurstyDelay,
     DeliveryDecision,
     DeliveryPolicy,
     FixedDelay,
     IncoherentDelivery,
+    LinkPartitionPolicy,
     UniformDelay,
 )
 from repro.net.network import Envelope, Network
 
 __all__ = [
     "AdversarialDelay",
+    "BurstyDelay",
     "DeliveryDecision",
     "DeliveryPolicy",
     "Envelope",
     "FixedDelay",
     "IncoherentDelivery",
+    "LinkPartitionPolicy",
     "Network",
     "UniformDelay",
 ]

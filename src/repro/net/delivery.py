@@ -21,14 +21,18 @@ class DeliveryDecision:
     """Outcome for a single (message, receiver) pair.
 
     ``delay`` is the real-time transit delay; ``drop`` wins over delay.
+    ``partition`` marks a drop as partition-suppressed (a severed link)
+    rather than an ordinary lossy-policy drop -- the network keeps separate
+    counters so scenario reports can attribute loss to its cause.
     """
 
     delay: float = 0.0
     drop: bool = False
+    partition: bool = False
 
     @staticmethod
-    def dropped() -> "DeliveryDecision":
-        return DeliveryDecision(delay=0.0, drop=True)
+    def dropped(partition: bool = False) -> "DeliveryDecision":
+        return DeliveryDecision(delay=0.0, drop=True, partition=partition)
 
 
 class DeliveryPolicy(Protocol):
@@ -178,7 +182,7 @@ class LinkPartitionPolicy:
         self, sender: int, receiver: int, payload: object, rng: RandomSource
     ) -> DeliveryDecision:
         if self.active and ((sender in self.island) != (receiver in self.island)):
-            return DeliveryDecision.dropped()
+            return DeliveryDecision.dropped(partition=True)
         return self.inner.decide(sender, receiver, payload, rng)
 
 

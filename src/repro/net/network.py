@@ -59,7 +59,16 @@ class Network:
         self._partitioned: set[int] = set()
         self.sent_count = 0
         self.delivered_count = 0
-        self.dropped_count = 0
+        # Drop accounting is split by cause so scenario reports can attribute
+        # loss: copies suppressed by a node cut (partition/crash isolation)
+        # vs. copies the delivery policy chose to drop.
+        self.dropped_partition = 0
+        self.dropped_policy = 0
+
+    @property
+    def dropped_count(self) -> int:
+        """Total dropped copies (partition-suppressed + policy-dropped)."""
+        return self.dropped_partition + self.dropped_policy
 
     # ------------------------------------------------------------------
     # Topology
@@ -142,11 +151,14 @@ class Network:
             if tracer is not None:
                 tracer.record(now, sender, "send", receiver=receiver, payload=payload)
             if sender_cut or receiver in self._partitioned:
-                self.dropped_count += 1
+                self.dropped_partition += 1
                 continue
             decision = policy.decide(sender, receiver, payload, rng)
             if decision.drop:
-                self.dropped_count += 1
+                if decision.partition:
+                    self.dropped_partition += 1
+                else:
+                    self.dropped_policy += 1
                 if tracer is not None:
                     tracer.record(
                         now, sender, "drop", receiver=receiver, payload=payload
@@ -180,11 +192,14 @@ class Network:
         if receiver not in self._receivers:
             raise ValueError(f"unknown receiver {receiver}")
         if sender in self._partitioned or receiver in self._partitioned:
-            self.dropped_count += 1
+            self.dropped_partition += 1
             return
         decision = self._policy.decide(sender, receiver, payload, self._rng)
         if decision.drop:
-            self.dropped_count += 1
+            if decision.partition:
+                self.dropped_partition += 1
+            else:
+                self.dropped_policy += 1
             if self._tracer is not None:
                 self._tracer.record(
                     self._sim.now, sender, "drop", receiver=receiver, payload=payload
@@ -210,7 +225,7 @@ class Network:
         self, sender: int, receiver: int, payload: object, sent_at: float
     ) -> None:
         if receiver in self._partitioned:
-            self.dropped_count += 1
+            self.dropped_partition += 1
             return
         self.delivered_count += 1
         now = self._sim.now

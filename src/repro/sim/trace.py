@@ -25,6 +25,7 @@ copy), so:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
@@ -127,6 +128,10 @@ class Tracer:
         """Number of events of the given kind (counted even when disabled)."""
         return self._counts.get(kind, 0)
 
+    def counts(self) -> dict[str, int]:
+        """Per-kind totals (a copy; counted even while tracing is disabled)."""
+        return dict(self._counts)
+
     def of_kind(self, kind: str) -> list[TraceEvent]:
         """All events of one kind, in order."""
         return [ev for ev in self._events if ev.kind == kind]
@@ -155,4 +160,26 @@ class Tracer:
         return len(self._events)
 
 
-__all__ = ["ALWAYS_ENABLED", "TraceEvent", "Tracer"]
+def trace_digest(tracer: Tracer) -> str:
+    """A stable hex digest of a recorded trace.
+
+    Two runs produce the same digest iff they recorded the same events in
+    the same order with the same payloads -- ``repr`` of floats and of the
+    frozen message dataclasses is deterministic, so this is a faithful
+    replay check across processes, worker counts and interpreter restarts.
+    Per-kind counts are folded in as well so the zero-cost disabled-tracing
+    path still yields a meaningful (count-only) digest.
+    """
+    hasher = hashlib.sha256()
+    for ev in tracer.events:
+        hasher.update(
+            f"{ev.real_time!r}|{ev.node!r}|{ev.kind}|"
+            f"{sorted(ev.detail.items())!r}|{ev.local_time!r}\n".encode()
+        )
+    counts = tracer.counts()
+    for kind in sorted(counts):
+        hasher.update(f"#{kind}={counts[kind]}\n".encode())
+    return hasher.hexdigest()
+
+
+__all__ = ["ALWAYS_ENABLED", "TraceEvent", "Tracer", "trace_digest"]

@@ -46,6 +46,82 @@ class TestStabilize:
         assert "post-stabilization validity: True" in out
 
 
+class TestSeedFanout:
+    def test_run_multiple_seeds_summary(self, capsys):
+        assert main(["run", "--n", "4", "--seeds", "0", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        for seed in (0, 1, 2):
+            assert f"seed {seed}: agreement=True" in out
+        assert "3 seeds: all ok" in out
+
+    def test_run_seeds_with_workers(self, capsys):
+        assert main(["run", "--n", "4", "--seeds", "0", "1", "--workers", "2"]) == 0
+        assert "2 seeds: all ok" in capsys.readouterr().out
+
+    def test_stabilize_multiple_seeds(self, capsys):
+        assert main(
+            ["stabilize", "--n", "4", "--garbage", "60", "--seeds", "0", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "seed 0: proposal_unblocked=True post_stb_validity=True" in out
+        assert "2 seeds: all recovered" in out
+
+
+class TestSuite:
+    def test_smoke_preset(self, capsys):
+        assert main(["suite", "--preset", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario matrix: smoke" in out
+        assert "partition_heal" in out
+        assert "cells with agreement on every seed" in out
+
+    def test_smoke_preset_with_workers_and_seeds(self, capsys):
+        assert main(
+            ["suite", "--preset", "smoke", "--workers", "2", "--seeds", "0", "3"]
+        ) == 0
+        assert "partition_heal" in capsys.readouterr().out
+
+    def test_csv_output(self, capsys):
+        assert main(["suite", "--preset", "smoke", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("n,f,cast,policy,timeline")
+
+    def test_config_file(self, capsys, tmp_path):
+        import json
+
+        config = {
+            "name": "filecfg",
+            "seeds": [0],
+            "base": {"value": "v"},
+            "grid": {"n": [4], "timeline": ["none"]},
+        }
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps(config))
+        assert main(["suite", "--config", str(path)]) == 0
+        assert "Scenario matrix: filecfg" in capsys.readouterr().out
+
+    def test_unknown_preset_exits_2(self, capsys):
+        assert main(["suite", "--preset", "nope"]) == 2
+        assert "unknown preset" in capsys.readouterr().err
+
+    def test_missing_preset_and_config_exits_2(self, capsys):
+        assert main(["suite"]) == 2
+        assert "need --preset or --config" in capsys.readouterr().err
+
+
+class TestListExperiments:
+    def test_lists_all_ten(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        names = {
+            line.split()[0]
+            for line in out.splitlines()
+            if line and not line.startswith(" ")
+        }
+        assert {f"e{i}" for i in range(1, 11)} <= names
+        assert "defaults:" in out
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

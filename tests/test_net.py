@@ -191,6 +191,66 @@ class TestNetwork:
         assert net.node_ids == [0, 1, 2]
 
 
+class TestDropAttribution:
+    """dropped_count splits into partition-suppressed vs policy-dropped."""
+
+    def build(self, policy=None):
+        sim = Simulator()
+        net = Network(sim, policy or FixedDelay(1.0), RandomSource(2), Tracer())
+        inboxes: dict[int, list[Envelope]] = {i: [] for i in range(3)}
+        for i in range(3):
+            net.register(i, inboxes[i].append)
+        return sim, net, inboxes
+
+    def test_fabric_cut_counts_as_partition(self):
+        sim, net, _ = self.build()
+        net.partition(1)
+        net.send(0, 1, "lost")
+        net.broadcast(1, "also lost")  # sender cut: all 3 copies suppressed
+        sim.run()
+        assert net.dropped_partition == 4
+        assert net.dropped_policy == 0
+        assert net.dropped_count == 4
+
+    def test_policy_drop_counts_as_policy(self):
+        sim, net, _ = self.build(policy=IncoherentDelivery(1.0, 0.0))
+        net.send(0, 1, "gone")
+        net.broadcast(0, "all gone")
+        sim.run()
+        assert net.dropped_policy == 4
+        assert net.dropped_partition == 0
+        assert net.dropped_count == 4
+
+    def test_link_partition_policy_counts_as_partition(self):
+        from repro.net.delivery import LinkPartitionPolicy
+
+        cut = LinkPartitionPolicy(FixedDelay(0.5), island=frozenset({0}))
+        sim, net, inboxes = self.build(policy=cut)
+        net.broadcast(0, "x")  # copies to 1 and 2 cross the cut
+        sim.run()
+        assert net.dropped_partition == 2
+        assert net.dropped_policy == 0
+        assert len(inboxes[0]) == 1
+        cut.heal()
+        net.broadcast(0, "y")
+        sim.run()
+        assert net.dropped_partition == 2  # unchanged after heal
+        assert all(len(inboxes[i]) >= 1 for i in range(3))
+
+    def test_in_flight_cut_counts_as_partition(self):
+        sim, net, inboxes = self.build()
+        net.send(0, 1, "in-flight")
+        net.partition(1)
+        sim.run()
+        assert inboxes[1] == []
+        assert net.dropped_partition == 1
+        assert net.dropped_policy == 0
+
+    def test_dropped_decision_partition_flag(self):
+        assert DeliveryDecision.dropped().partition is False
+        assert DeliveryDecision.dropped(partition=True).partition is True
+
+
 class TestDeliveryBound:
     @given(seed=st.integers(min_value=0, max_value=10_000))
     @settings(max_examples=30, deadline=None)

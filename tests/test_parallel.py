@@ -151,3 +151,28 @@ class TestDriversBitIdentical:
             n=4, seeds=range(2), garbage_messages=40, workers=2
         )
         assert parallel == serial
+
+
+class TestFaultScriptBitIdentical:
+    """Scripted fault timelines obey the same contract as the drivers:
+    rows *and trace digests* are bit-identical at any worker count."""
+
+    SUITE = {
+        "name": "parallel-faults",
+        "seeds": [0, 1, 2],
+        "base": {"delta": 1.0, "rho": 1e-4, "value": "v", "trace": True},
+        "grid": {
+            "n": [4],
+            "timeline": ["partition_heal", "churn"],
+        },
+    }
+
+    def test_suite_rows_and_digests_parallel_match_serial(self):
+        from repro.harness.suite import run_suite
+
+        serial = run_suite(self.SUITE)
+        for workers in (1, 4):
+            fanned = run_suite(self.SUITE, workers=workers)
+            assert fanned == serial, f"workers={workers} diverged"
+        # The digest column is a real discriminator, not a constant.
+        assert serial[0]["digest"] != serial[1]["digest"]

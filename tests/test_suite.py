@@ -1,0 +1,122 @@
+"""Tests for the scenario-matrix runner (repro.harness.suite)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.harness.suite import (
+    CAST_BUILDERS,
+    SUITE_PRESETS,
+    _run_cell,
+    expand_grid,
+    load_suite_config,
+    run_suite,
+    suite_report,
+)
+
+SMALL_SUITE = {
+    "name": "unit",
+    "seeds": [0, 1],
+    "base": {"delta": 1.0, "rho": 1e-4, "value": "v"},
+    "grid": {
+        "n": [4],
+        "timeline": ["none", "partition_heal"],
+    },
+}
+
+
+class TestExpandGrid:
+    def test_cartesian_product_in_declared_order(self):
+        cells = expand_grid(
+            {
+                "base": {"delta": 1.0},
+                "grid": {"n": [4, 7], "timeline": ["none", "churn"]},
+            }
+        )
+        assert len(cells) == 4
+        assert [(c["n"], c["timeline"]) for c in cells] == [
+            (4, "none"),
+            (4, "churn"),
+            (7, "none"),
+            (7, "churn"),
+        ]
+        assert all(c["delta"] == 1.0 for c in cells)
+
+    def test_no_grid_yields_single_base_cell(self):
+        assert expand_grid({"base": {"n": 4}}) == [{"n": 4}]
+
+
+class TestCasts:
+    def test_all_casts_respect_fault_bound(self):
+        params = ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4)
+        for name, builder in CAST_BUILDERS.items():
+            cast = builder(params)
+            assert len(cast) <= params.f, name
+            assert 0 not in cast, f"{name}: the General must stay correct"
+
+    def test_crash_f_is_maximal(self):
+        params = ProtocolParams(n=7, f=2, delta=1.0, rho=1e-4)
+        assert len(CAST_BUILDERS["crash_f"](params)) == params.f
+
+    def test_unknown_cast_raises(self):
+        with pytest.raises(KeyError, match="unknown cast"):
+            _run_cell({"n": 4, "cast": "gremlins"}, 0)
+
+
+class TestRunSuite:
+    def test_rows_one_per_cell_in_grid_order(self):
+        rows = run_suite(SMALL_SUITE)
+        assert [row["timeline"] for row in rows] == ["none", "partition_heal"]
+        for row in rows:
+            assert row["runs"] == 2
+            assert row["agreement_ok"] == 2
+            assert row["proposed"] == 2
+
+    def test_partition_cell_attributes_loss(self):
+        rows = run_suite(SMALL_SUITE)
+        quiet, cut = rows
+        assert quiet["dropped_partition_mean"] == 0
+        assert cut["dropped_partition_mean"] > 0
+
+    def test_seeds_override(self):
+        rows = run_suite(SMALL_SUITE, seeds=[5])
+        assert rows[0]["runs"] == 1
+
+    def test_workers_bit_identical(self):
+        serial = run_suite(SMALL_SUITE)
+        for workers in (1, 4):
+            assert run_suite(SMALL_SUITE, workers=workers) == serial
+
+    def test_inline_timeline_cell(self):
+        config = {
+            "name": "inline",
+            "seeds": [0],
+            "base": {"n": 4, "value": "v"},
+            "grid": {
+                "timeline": [[{"at_d": 1.0, "do": "isolate", "nodes": [3]}]]
+            },
+        }
+        rows = run_suite(config)
+        assert rows[0]["timeline"] == "inline[1]"
+        assert rows[0]["dropped_partition_mean"] > 0
+
+
+class TestPresetsAndReport:
+    def test_smoke_preset_runs_clean(self):
+        rows = run_suite(SUITE_PRESETS["smoke"])
+        assert all(row["agreement_ok"] == row["runs"] for row in rows)
+
+    def test_report_contains_header_and_table(self):
+        rows = run_suite(SMALL_SUITE)
+        report = suite_report(SMALL_SUITE, rows)
+        assert "Suite `unit`" in report
+        assert "2/2 cells with agreement" in report
+        assert "| timeline |" in report.replace("  ", " ")
+
+    def test_load_suite_config(self, tmp_path):
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps(SMALL_SUITE))
+        assert load_suite_config(path) == SMALL_SUITE
