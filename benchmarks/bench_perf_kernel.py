@@ -156,6 +156,23 @@ EVAL_ORIGINS = 6
 EVAL_ROUNDS = 2
 
 
+class _BenchTimer:
+    """Cancelable handle for the bench host's heap-based manual timers."""
+
+    __slots__ = ("cancelled", "fired")
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    @property
+    def alive(self) -> bool:
+        return not self.cancelled and not self.fired
+
+
 class _EvalHost:
     """Minimal deterministic host: manual clock, counted observables."""
 
@@ -167,10 +184,10 @@ class _EvalHost:
         self.local = 0.0
         self.sent = 0
         self.traced = 0
-        self._timers: list[tuple[float, int, object]] = []
+        self._timers: list[tuple[float, int, object, _BenchTimer]] = []
         self._seq = itertools.count()
 
-    def local_now(self) -> float:
+    def now(self) -> float:
         return self.local
 
     def broadcast(self, payload: object) -> None:
@@ -179,13 +196,20 @@ class _EvalHost:
     def trace(self, kind: str, **detail: object) -> None:
         self.traced += 1
 
-    def after_local(self, delay_local: float, action, tag: str = "") -> None:
-        heapq.heappush(self._timers, (self.local + delay_local, next(self._seq), action))
+    def schedule_after(self, delay_local: float, action, tag: str = "") -> _BenchTimer:
+        handle = _BenchTimer()
+        heapq.heappush(
+            self._timers, (self.local + delay_local, next(self._seq), action, handle)
+        )
+        return handle
 
     def advance(self, delta: float) -> None:
         target = self.local + delta
         while self._timers and self._timers[0][0] <= target:
-            at, _seq, action = heapq.heappop(self._timers)
+            at, _seq, action, handle = heapq.heappop(self._timers)
+            if handle.cancelled:
+                continue
+            handle.fired = True
             self.local = max(self.local, at)
             action()
         self.local = target

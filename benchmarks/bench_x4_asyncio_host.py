@@ -1,0 +1,86 @@
+"""X4: asyncio runtime backend -- end-to-end agreement latency.
+
+The sans-I/O refactor lets the exact protocol code of the simulator run on
+real coroutines (``repro.runtime.aio``).  This bench measures what that
+costs in wall clock: one n = 4, f = 1 agreement per round, with one
+mirror-amplifying Byzantine sender in the cast, at two time scales --
+the conservative default (d = 20 ms) and a tight one (d = 5 ms) that
+leans on the loop's scheduling precision.
+
+Latency here is wall-clock seconds from proposal to the *last* correct
+node's return, plus the protocol-time return stamp, recorded to
+``BENCH_perf.json`` (kind ``end_to_end``; the kernel regression diff
+ignores it, as asyncio numbers are machine- and load-dependent by design).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.faults.byzantine import MirrorParticipantStrategy
+from repro.runtime.aio import run_agreement_async
+
+from benchmarks.conftest import print_rows, record_bench_result
+
+N = 4
+F = 1
+SEEDS = (0, 1, 2)
+TIME_SCALES = (0.02, 0.005)
+
+
+def _one_agreement(seed: int, time_scale: float) -> dict:
+    start = time.perf_counter()
+    cluster, decisions = asyncio.run(
+        run_agreement_async(
+            n=N,
+            f=F,
+            seed=seed,
+            value="bench",
+            byzantine={N - 1: MirrorParticipantStrategy()},
+            time_scale=time_scale,
+        )
+    )
+    wall_s = time.perf_counter() - start
+    decided = [d for d in decisions.values() if d.decided]
+    assert len(decided) == len(cluster.correct_ids), "bench run failed to agree"
+    assert {d.value for d in decided} == {"bench"}
+    return {
+        "seed": seed,
+        "time_scale_s": time_scale,
+        "wall_s": wall_s,
+        "last_return_local": max(d.returned_local for d in decided),
+        "messages_sent": cluster.transport.sent_count,
+        "messages_delivered": cluster.transport.delivered_count,
+    }
+
+
+def bench_x4_asyncio_agreement_latency(benchmark):
+    rows = [
+        _one_agreement(seed, scale) for scale in TIME_SCALES for seed in SEEDS
+    ]
+    print_rows("X4: asyncio host end-to-end agreement latency", rows)
+
+    by_scale = {
+        scale: [row for row in rows if row["time_scale_s"] == scale]
+        for scale in TIME_SCALES
+    }
+    record_bench_result(
+        "x4_asyncio_host",
+        kind="end_to_end",
+        n=N,
+        f=F,
+        seeds=len(SEEDS),
+        byzantine="mirror",
+        scales={
+            str(scale): {
+                "mean_wall_s": sum(r["wall_s"] for r in group) / len(group),
+                "mean_return_local": sum(r["last_return_local"] for r in group)
+                / len(group),
+            }
+            for scale, group in by_scale.items()
+        },
+    )
+    benchmark.pedantic(
+        lambda: _one_agreement(0, TIME_SCALES[-1]), rounds=3, iterations=1
+    )

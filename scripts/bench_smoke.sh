@@ -12,6 +12,15 @@ echo "== tier-1 tests =="
 python -m pytest -x -q
 
 echo
+echo "== runtime host conformance (SimHost + AsyncioHost contract) =="
+python -m pytest tests/test_runtime.py -q
+
+echo
+echo "== asyncio runtime smoke (n=4 f=1, byzantine mirror sender) =="
+# d = 50 ms wall: loaded-machine scheduling stalls stay inside the windows.
+python -m repro.cli run-async --n 4 --f 1 --time-scale 0.05
+
+echo
 echo "== suite smoke (scenario matrix: 2 timelines x 2 seeds) =="
 python -m repro.cli suite --preset smoke --workers 2
 
@@ -26,8 +35,9 @@ else
 fi
 
 echo
-echo "== benchmark smoke (kernel micro-benchmarks) =="
-python -m pytest benchmarks/bench_perf_kernel.py --benchmark-only -q
+echo "== benchmark smoke (kernel micro-benchmarks + asyncio host latency) =="
+python -m pytest benchmarks/bench_perf_kernel.py benchmarks/bench_x4_asyncio_host.py \
+    --benchmark-only -q
 
 echo
 echo "== validating BENCH_perf.json =="

@@ -21,7 +21,8 @@ from typing import Hashable, Optional
 from repro.core.params import ProtocolParams
 from repro.net.delivery import DeliveryPolicy, UniformDelay
 from repro.net.network import Envelope, Network
-from repro.node.base import Node, NodeContext
+from repro.node.base import Node
+from repro.runtime.sim_host import NodeContext
 from repro.sim.clock import ClockConfig
 from repro.sim.engine import Simulator
 from repro.sim.rand import RandomSource

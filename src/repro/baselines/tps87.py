@@ -32,7 +32,8 @@ from typing import Hashable, Optional
 from repro.core.params import BOTTOM, ProtocolParams
 from repro.net.delivery import DeliveryPolicy, UniformDelay
 from repro.net.network import Envelope, Network
-from repro.node.base import Node, NodeContext
+from repro.node.base import Node
+from repro.runtime.sim_host import NodeContext
 from repro.node.msglog import MessageLog
 from repro.sim.clock import ClockConfig
 from repro.sim.engine import Simulator

@@ -11,6 +11,12 @@ Subcommands::
         the per-seed runs fan out over a process pool and a summary table
         is printed instead.
 
+    python -m repro.cli run-async --n 4 --f 1
+        Run one agreement on the **asyncio runtime backend**: real
+        coroutines, wall-clock-scaled timers, in-process transport -- the
+        same protocol code the simulator drives, hosted sans-I/O.  By
+        default one participant is a mirror-amplifying Byzantine sender.
+
     python -m repro.cli stabilize --n 7 --seed 5
         Run the havoc -> Delta_stb -> agree stabilization scenario and
         report recovery.  Also accepts ``--seeds``/``--workers``.
@@ -44,6 +50,7 @@ from repro.harness.parallel import SeedPool
 from repro.harness.scenario import Cluster, ScenarioConfig
 
 ATTACKS = ("none", "equivocate", "staggered", "selective", "crash")
+ASYNC_ATTACKS = ("none", "mirror", "twofaced", "crash")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -84,6 +91,25 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--general", type=int, default=0)
     run.add_argument("--attack", choices=ATTACKS, default="none")
     add_fanout_args(run)
+
+    run_async = sub.add_parser(
+        "run-async",
+        help="run one agreement on the asyncio runtime backend (real coroutines)",
+    )
+    add_model_args(run_async)
+    run_async.add_argument("--seed", type=int, default=0)
+    run_async.add_argument("--value", default="v", help="the General's value")
+    run_async.add_argument("--general", type=int, default=0)
+    run_async.add_argument(
+        "--attack", choices=ASYNC_ATTACKS, default="mirror",
+        help="byzantine cast (default: one mirror-amplifying participant)",
+    )
+    run_async.add_argument(
+        "--time-scale",
+        type=float,
+        default=None,
+        help="wall-clock seconds per protocol time unit (default: 0.02)",
+    )
 
     stab = sub.add_parser("stabilize", help="havoc -> wait Delta_stb -> agree")
     add_model_args(stab)
@@ -229,6 +255,86 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if report.holds else 1
 
 
+def cmd_run_async(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.params import BOTTOM as _BOTTOM
+    from repro.faults.byzantine import (
+        CrashStrategy as _Crash,
+        MirrorParticipantStrategy,
+        TwoFacedParticipantStrategy,
+    )
+    from repro.runtime.aio import DEFAULT_TIME_SCALE, run_agreement_async
+
+    params = _params(args)
+    general = args.general
+    if not 0 <= general < params.n:
+        print(f"run-async: --general {general} out of range for n={params.n}",
+              file=sys.stderr)
+        return 2
+    byz_id: Optional[int] = None
+    if args.attack != "none":
+        others = tuple(i for i in range(params.n) if i != general)
+        if not others:
+            print("run-async: no non-General node left to play the Byzantine "
+                  "sender; use --attack none", file=sys.stderr)
+            return 2
+        byz_id = others[-1]  # highest non-General id plays the Byzantine sender
+    if args.attack == "none":
+        byzantine = {}
+    elif args.attack == "mirror":
+        byzantine = {byz_id: MirrorParticipantStrategy()}
+    elif args.attack == "twofaced":
+        half = [i for i in range(params.n) if i != byz_id][: params.n // 2]
+        byzantine = {byz_id: TwoFacedParticipantStrategy(tuple(half))}
+    elif args.attack == "crash":
+        byzantine = {byz_id: _Crash()}
+    else:
+        raise AssertionError(args.attack)
+
+    time_scale = args.time_scale if args.time_scale is not None else DEFAULT_TIME_SCALE
+    cluster, decisions = asyncio.run(
+        run_agreement_async(
+            n=params.n,
+            f=params.f,
+            seed=args.seed,
+            value=args.value,
+            general=general,
+            byzantine=byzantine,
+            time_scale=time_scale,
+            delta=args.delta,
+            rho=args.rho,
+        )
+    )
+
+    correct = sorted(cluster.correct_ids)
+    if byzantine:
+        print(f"byzantine node {byz_id}: {args.attack}")
+    for node_id in correct:
+        dec = decisions.get(node_id)
+        if dec is None:
+            print(f"node {node_id}: (no return within timeout)")
+        else:
+            outcome = "ABORT" if dec.value is _BOTTOM else repr(dec.value)
+            print(f"node {node_id}: {outcome} at local={dec.returned_local:.2f}")
+    print(
+        f"transport: {cluster.transport.sent_count} sent, "
+        f"{cluster.transport.delivered_count} delivered "
+        f"(time_scale={time_scale}s/unit)"
+    )
+    decided = [d for d in decisions.values() if d.decided]
+    agreement = (
+        len(decisions) == len(correct)
+        and len({repr(d.value) for d in decisions.values()}) <= 1
+    )
+    all_decided_value = bool(decided) and all(
+        d.value == args.value for d in decided
+    )
+    print(f"agreement: {agreement}")
+    print(f"decided:   {len(decided)}/{len(correct)} nodes")
+    return 0 if (agreement and all_decided_value) else 1
+
+
 def cmd_stabilize(args: argparse.Namespace) -> int:
     params = _params(args)
     if args.seeds is not None:
@@ -313,6 +419,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_constants(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "run-async":
+        return cmd_run_async(args)
     if args.command == "stabilize":
         return cmd_stabilize(args)
     if args.command == "suite":

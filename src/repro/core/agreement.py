@@ -39,9 +39,8 @@ from repro.core.messages import (
 )
 from repro.core.msgd_broadcast import MsgdBroadcast
 from repro.core.params import BOTTOM, ProtocolParams
-from repro.net.network import Envelope
-from repro.node.base import Node, NodeContext
-from repro.sim.rand import RandomSource
+from repro.node.base import Node
+from repro.runtime.api import Delivery, RandomStream
 
 
 @dataclass(frozen=True)
@@ -314,7 +313,7 @@ class AgreementInstance:
         self.stopped = True
         self.returned_at = now
         tau_g_real = (
-            self.node.clock.real_at_local(self.tau_g)
+            self.node.real_at_local(self.tau_g)
             if self.tau_g is not None
             else None
         )
@@ -325,7 +324,7 @@ class AgreementInstance:
             tau_g_local=self.tau_g,
             tau_g_real=tau_g_real,
             returned_local=now,
-            returned_real=self.node.sim.now,
+            returned_real=self.node.real_now(),
         )
         kind = "decide" if decision.decided else "abort"
         self.node.trace(
@@ -396,7 +395,7 @@ class AgreementInstance:
     # ------------------------------------------------------------------
     # Transient corruption
     # ------------------------------------------------------------------
-    def corrupt(self, rng: RandomSource, value_pool: list[Value]) -> None:
+    def corrupt(self, rng: RandomStream, value_pool: list[Value]) -> None:
         """Scramble the whole execution state (transient fault)."""
         now = self.node.local_now()
         span = self.params.delta_stb
@@ -426,7 +425,7 @@ class ProtocolNode(Node):
     def __init__(
         self,
         node_id: int,
-        ctx: NodeContext,
+        ctx,  # a ProtocolHost, or a sim NodeContext (wrapped by Node)
         params: ProtocolParams,
         on_decision: Optional[DecisionCallback] = None,
         cleanup_interval_d: float = 1.0,
@@ -533,7 +532,7 @@ class ProtocolNode(Node):
     # ------------------------------------------------------------------
     # Message intake
     # ------------------------------------------------------------------
-    def on_message(self, envelope: Envelope) -> None:
+    def on_message(self, envelope: Delivery) -> None:
         msg = envelope.payload
         general = getattr(msg, "general", None)
         if general is None:
@@ -581,7 +580,7 @@ class ProtocolNode(Node):
         ):
             self._failed_initiation_at = None
 
-    def corrupt(self, rng: RandomSource, value_pool: list[Value]) -> None:
+    def corrupt(self, rng: RandomStream, value_pool: list[Value]) -> None:
         """Transient fault: scramble all protocol state on this node."""
         self.trace("corrupt")
         for inst in self.instances.values():

@@ -18,7 +18,7 @@ the differential-reference pattern of :mod:`repro.node.msglog_ref`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Protocol
+from typing import Callable, Optional
 
 from repro.core.messages import (
     ApproveMsg,
@@ -31,22 +31,8 @@ from repro.core.messages import (
     SupportMsg,
     Value,
 )
-from repro.core.params import ProtocolParams
 from repro.node.msglog import MessageLog
-from repro.sim.rand import RandomSource
-
-
-class Host(Protocol):
-    """What the primitive needs from its hosting node."""
-
-    node_id: int
-    params: ProtocolParams
-
-    def local_now(self) -> float: ...
-    def broadcast(self, payload: object) -> None: ...
-    def trace(self, kind: str, **detail: object) -> None: ...
-
-
+from repro.runtime.api import ProtocolHost, RandomStream
 
 
 
@@ -68,7 +54,7 @@ class ReferenceMsgdBroadcast:
 
     def __init__(
         self,
-        host: Host,
+        host: ProtocolHost,
         general: int,
         on_accept: MbAcceptCallback,
         on_broadcaster: BroadcasterCallback = None,
@@ -115,7 +101,7 @@ class ReferenceMsgdBroadcast:
     # ------------------------------------------------------------------
     def on_message(self, msg: object, sender: int) -> None:
         """Log an arriving message; evaluate blocks if the anchor is known."""
-        now = self.host.local_now()
+        now = self.host.now()
         if isinstance(msg, MBInitMsg):
             # Only the origin itself can init its own broadcast; the network
             # authenticates senders, so an init claiming another origin is
@@ -144,7 +130,7 @@ class ReferenceMsgdBroadcast:
         """Re-run the blocks for one (p, m, k) triplet."""
         if self.anchor is None:
             return
-        now = self.host.local_now()
+        now = self.host.now()
         origin, value, k = triplet
         p = self.params
         phi = p.phi
@@ -232,7 +218,7 @@ class ReferenceMsgdBroadcast:
     # ------------------------------------------------------------------
     def cleanup(self) -> None:
         """Decay rule: drop messages older than ``(2f + 3) Phi``."""
-        now = self.host.local_now()
+        now = self.host.now()
         horizon = (2 * self.params.f + 3) * self.params.phi
         self.log.prune_older_than(now - horizon)
         self.log.prune_future(now)
@@ -264,9 +250,9 @@ class ReferenceMsgdBroadcast:
         self._known_triplets.clear()
         self.host.trace("mb_reset", general=self.general)
 
-    def corrupt(self, rng: RandomSource, value_pool: list[Value]) -> None:
+    def corrupt(self, rng: RandomStream, value_pool: list[Value]) -> None:
         """Transient fault: scramble anchor, logs, and derived sets."""
-        now = self.host.local_now()
+        now = self.host.now()
         p = self.params
         span = p.delta_stb
         if rng.chance(0.5):
@@ -364,7 +350,7 @@ class ReferenceInitiatorAccept:
 
     def __init__(
         self,
-        host: Host,
+        host: ProtocolHost,
         general: int,
         on_accept: IaAcceptCallback,
     ) -> None:
@@ -392,7 +378,7 @@ class ReferenceInitiatorAccept:
     # Small helpers
     # ------------------------------------------------------------------
     def _now(self) -> float:
-        return self.host.local_now()
+        return self.host.now()
 
     def _key(self, kind: str, value: Value):
         return (kind, self.general, value)
@@ -673,7 +659,7 @@ class ReferenceInitiatorAccept:
         self.line_exec.clear()
         self.host.trace("ia_reset", general=self.general)
 
-    def corrupt(self, rng: RandomSource, value_pool: list[Value]) -> None:
+    def corrupt(self, rng: RandomStream, value_pool: list[Value]) -> None:
         """Transient fault: scramble every variable with plausible garbage."""
         now = self._now()
         p = self.params

@@ -43,7 +43,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from operator import itemgetter
-from typing import Callable, Optional, Protocol
+from typing import Callable, Optional
 
 from repro.core.messages import (
     ApproveMsg,
@@ -52,21 +52,8 @@ from repro.core.messages import (
     SupportMsg,
     Value,
 )
-from repro.core.params import ProtocolParams
 from repro.node.msglog import MessageLog
-from repro.sim.rand import RandomSource
-from repro.sim.trace import ALWAYS_ENABLED
-
-
-class Host(Protocol):
-    """What the primitive needs from its hosting node."""
-
-    node_id: int
-    params: ProtocolParams
-
-    def local_now(self) -> float: ...
-    def broadcast(self, payload: object) -> None: ...
-    def trace(self, kind: str, **detail: object) -> None: ...
+from repro.runtime.api import ALWAYS_ENABLED, ProtocolHost, RandomStream
 
 
 # Callback signature: (value, tau_g_local) -> None
@@ -148,7 +135,7 @@ class InitiatorAccept:
 
     def __init__(
         self,
-        host: Host,
+        host: ProtocolHost,
         general: int,
         on_accept: AcceptCallback,
     ) -> None:
@@ -183,7 +170,7 @@ class InitiatorAccept:
     # Small helpers
     # ------------------------------------------------------------------
     def _now(self) -> float:
-        return self.host.local_now()
+        return self.host.now()
 
     def _key(self, kind: str, value: Value):
         return (kind, self.general, value)
@@ -474,7 +461,7 @@ class InitiatorAccept:
         self.line_exec.clear()
         self.host.trace("ia_reset", general=self.general)
 
-    def corrupt(self, rng: RandomSource, value_pool: list[Value]) -> None:
+    def corrupt(self, rng: RandomStream, value_pool: list[Value]) -> None:
         """Transient fault: scramble every variable with plausible garbage."""
         now = self._now()
         p = self.params

@@ -41,8 +41,8 @@ pull model:
   sent, accepted, origin a broadcaster), the state is marked *done* and
   arrivals skip evaluation outright.
 * The ``now <= anchor + c*Phi`` deadline guards are deactivated exactly
-  once by a chained deadline timer scheduled on the simulator (via the
-  host's ``after_local``), instead of being re-derived on every arrival;
+  once by a chained deadline timer scheduled on the host (via the sans-I/O
+  ``schedule_after`` hook), instead of being re-derived on every arrival;
   between a deadline and its timer firing, the retained comparison keeps
   the boundary semantics bit-identical to the reference.
 * Anything the counters cannot track incrementally -- cleanup pruning,
@@ -56,7 +56,7 @@ through randomized adversarial schedules and demands identical behaviour.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol
+from typing import Callable, Optional
 
 from repro.core.messages import (
     MBEchoMsg,
@@ -65,27 +65,8 @@ from repro.core.messages import (
     MBInitPrimeMsg,
     Value,
 )
-from repro.core.params import ProtocolParams
 from repro.node.msglog import FreshWindowWatch, MessageLog
-from repro.sim.rand import RandomSource
-from repro.sim.trace import ALWAYS_ENABLED
-
-
-class Host(Protocol):
-    """What the primitive needs from its hosting node.
-
-    ``trace_enabled`` and ``after_local`` are optional extras (resolved via
-    ``getattr``): hosts without them get unguarded tracing and lazy,
-    comparison-based deadline deactivation instead of timers -- behaviour
-    is identical either way.
-    """
-
-    node_id: int
-    params: ProtocolParams
-
-    def local_now(self) -> float: ...
-    def broadcast(self, payload: object) -> None: ...
-    def trace(self, kind: str, **detail: object) -> None: ...
+from repro.runtime.api import ALWAYS_ENABLED, ProtocolHost, RandomStream, TimerHandle
 
 
 # Callback signature: (origin p, value m, round k, accept local-time).
@@ -114,6 +95,7 @@ class _TripletState:
         "signal",
         "stale",
         "done",
+        "timer",
     )
 
     def __init__(self) -> None:
@@ -123,6 +105,7 @@ class _TripletState:
         self.w_active = True
         self.x_active = True
         self.y_active = True
+        self.timer: Optional[TimerHandle] = None  # pending deadline-chain hop
 
     def wake(self, _watch: FreshWindowWatch) -> None:
         """Threshold-crossing / sentinel-maturation callback."""
@@ -138,11 +121,20 @@ class _TripletState:
             or self.echop_w.has_pending
         )
 
-    def cancel_watches(self) -> None:
+    def release(self) -> None:
+        """Cancel the watches *and* the pending deadline-chain timer.
+
+        Dropping a state without releasing its timer handle would leak the
+        handle in the host's registry until the deadline passed; hygiene is
+        asserted by ``ProtocolHost.live_timer_count()`` in the tests.
+        """
         self.init_w.cancel()
         self.echo_w.cancel()
         self.initp_w.cancel()
         self.echop_w.cancel()
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
 
 
 class MsgdBroadcast:
@@ -155,7 +147,7 @@ class MsgdBroadcast:
 
     def __init__(
         self,
-        host: Host,
+        host: ProtocolHost,
         general: int,
         on_accept: AcceptCallback,
         on_broadcaster: Optional[BroadcasterCallback] = None,
@@ -179,7 +171,10 @@ class MsgdBroadcast:
         self._strong = self.params.strong_quorum
         self._phi = self.params.phi
         self._deadline_eps = self.params.d * 1e-9
-        self._after_local = getattr(host, "after_local", None)
+        # Optional host extras: timer-less hosts fall back to lazy,
+        # comparison-based deadline deactivation; tracer-less hosts get
+        # unguarded tracing.  Behaviour is identical either way.
+        self._schedule_after = getattr(host, "schedule_after", None)
         self._tracer = getattr(host, "tracer", ALWAYS_ENABLED)
 
     # ------------------------------------------------------------------
@@ -200,7 +195,7 @@ class MsgdBroadcast:
 
     def _drop_states(self) -> None:
         for state in self._states.values():
-            state.cancel_watches()
+            state.release()
         self._states.clear()
 
     # ------------------------------------------------------------------
@@ -219,7 +214,7 @@ class MsgdBroadcast:
     # ------------------------------------------------------------------
     def on_message(self, msg: object, sender: int) -> None:
         """Log an arriving message; evaluate blocks if the anchor is known."""
-        now = self.host.local_now()
+        now = self.host.now()
         if isinstance(msg, MBInitMsg):
             # Only the origin itself can init its own broadcast; the network
             # authenticates senders, so an init claiming another origin is
@@ -292,7 +287,7 @@ class MsgdBroadcast:
         return state
 
     def _run_blocks(self, triplet: Triplet, state: _TripletState) -> None:
-        now = self.host.local_now()
+        now = self.host.now()
         origin, value, k = triplet
 
         # Primitive instances are "implicitly associated with the agreement
@@ -376,17 +371,26 @@ class MsgdBroadcast:
         the deadline comparison.  Timers fire ``eps`` after the deadline
         (the guards are inclusive); the retained ``now <= deadline`` check
         in :meth:`_run_blocks` covers the gap exactly.
+
+        The pending hop's handle is kept on the state (``state.timer``) and
+        canceled by :meth:`_TripletState.release` the moment the state is
+        dropped -- anchor change, reset, cleanup retirement -- so dead
+        chains never linger in the host's timer registry.  A chain that
+        runs to its natural end (all blocks expired) clears the handle
+        itself.
         """
-        after_local = self._after_local
-        if after_local is None:
+        schedule_after = self._schedule_after
+        if schedule_after is None:
             return  # hosts without timers fall back to lazy deactivation
 
-        # The chain tolerates states being dropped (anchor change, reset):
-        # a stale firing finds a different object in ``_states`` and stops.
+        # Belt and braces: release() cancels the pending hop when a state
+        # is dropped, and a stale firing that slips through anyway finds a
+        # different object in ``_states`` and stops.
         def fire() -> None:
+            state.timer = None  # this hop's handle was just consumed
             if self._states.get(triplet) is not state:
                 return
-            now = self.host.local_now()
+            now = self.host.now()
             if state.w_active and now > state.w_deadline:
                 state.w_active = False
             if state.x_active and now > state.x_deadline:
@@ -401,14 +405,14 @@ class MsgdBroadcast:
             elif state.y_active:
                 next_deadline = state.y_deadline
             if next_deadline is not None:
-                after_local(
+                state.timer = schedule_after(
                     max(0.0, next_deadline - now) + self._deadline_eps,
                     fire,
                     tag="mb_deadline",
                 )
 
-        now = self.host.local_now()
-        after_local(
+        now = self.host.now()
+        state.timer = schedule_after(
             max(0.0, state.w_deadline - now) + self._deadline_eps,
             fire,
             tag="mb_deadline",
@@ -446,7 +450,7 @@ class MsgdBroadcast:
     # ------------------------------------------------------------------
     def cleanup(self) -> None:
         """Decay rule: drop messages older than ``(2f + 3) Phi``."""
-        now = self.host.local_now()
+        now = self.host.now()
         horizon = (2 * self.params.f + 3) * self._phi
         self.log.prune_older_than(now - horizon)
         self.log.prune_future(now)
@@ -473,7 +477,7 @@ class MsgdBroadcast:
         known = self._known_triplets
         dead = [trip for trip in self._states if trip not in known]
         for trip in dead:
-            self._states.pop(trip).cancel_watches()
+            self._states.pop(trip).release()
         for state in self._states.values():
             state.stale = True
             state.done = False
@@ -489,9 +493,9 @@ class MsgdBroadcast:
         self._drop_states()
         self.host.trace("mb_reset", general=self.general)
 
-    def corrupt(self, rng: RandomSource, value_pool: list[Value]) -> None:
+    def corrupt(self, rng: RandomStream, value_pool: list[Value]) -> None:
         """Transient fault: scramble anchor, logs, and derived sets."""
-        now = self.host.local_now()
+        now = self.host.now()
         p = self.params
         span = p.delta_stb
         if rng.chance(0.5):

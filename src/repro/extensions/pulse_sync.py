@@ -41,7 +41,7 @@ from typing import Optional
 from repro.core.agreement import Decision, ProtocolNode
 from repro.core.params import ProtocolParams
 from repro.harness.scenario import Cluster, ScenarioConfig
-from repro.node.base import NodeContext
+from repro.runtime.sim_host import NodeContext
 
 
 @dataclass(frozen=True)

@@ -47,7 +47,7 @@ from repro.core.messages import (
 )
 from repro.core.params import ProtocolParams
 from repro.net.network import Envelope
-from repro.node.base import Node, NodeContext
+from repro.node.base import Node
 from repro.sim.rand import RandomSource
 
 
@@ -69,7 +69,7 @@ class ByzantineNode(Node):
     def __init__(
         self,
         node_id: int,
-        ctx: NodeContext,
+        ctx,  # a ProtocolHost, or a sim NodeContext (wrapped by Node)
         params: ProtocolParams,
         strategy: Strategy,
     ) -> None:

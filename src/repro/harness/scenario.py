@@ -16,7 +16,8 @@ from repro.core.params import ProtocolParams
 from repro.faults.byzantine import ByzantineNode, Strategy
 from repro.net.delivery import DeliveryPolicy, UniformDelay
 from repro.net.network import Network
-from repro.node.base import Node, NodeContext
+from repro.node.base import Node
+from repro.runtime.sim_host import NodeContext
 from repro.sim.clock import ClockConfig
 from repro.sim.engine import Simulator
 from repro.sim.rand import RandomSource
@@ -123,6 +124,7 @@ class Cluster:
                 net=self.net,
                 tracer=self.tracer,
                 clock_config=self._clock_config(node_id),
+                rand=self.rng.split(f"host/{node_id}"),
             )
             spec = self.config.byzantine.get(node_id)
             if spec is None:

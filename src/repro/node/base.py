@@ -1,57 +1,88 @@
-"""Base class for simulated nodes.
+"""Base class for protocol nodes, written against the sans-I/O host API.
 
 Design rules enforced here (mirroring the paper's model):
 
-* a node reads time *only* via its :class:`~repro.sim.clock.DriftClock`
-  (``local_now``), never the simulator's real time;
-* a node interacts with other nodes *only* via the network;
-* local timers are scheduled in local-time units and are translated to the
-  real axis through the node's own (possibly drifting) clock;
+* a node reads time *only* through its host's local clock (``local_now``),
+  never any global real time;
+* a node interacts with other nodes *only* via the host's transport;
+* local timers are scheduled in local-time units; the host translates them
+  to whatever real axis it owns (simulated time, the asyncio loop, ...);
 * a node can be *stunned* (crashed) and later resumed, and its timers can be
   wiped by a transient fault.
+
+A node is itself a :class:`~repro.runtime.api.ProtocolHost`: it forwards the
+host surface to its backend while layering the crash semantics on top (a
+crashed node neither sends nor fires timers).  The protocol primitives in
+``repro.core`` therefore receive the *node* as their host.
+
+Construction accepts either a ready-made host (``SimHost``, ``AsyncioHost``,
+any conforming object) or the legacy sim-specific
+:class:`~repro.runtime.sim_host.NodeContext`, which is wrapped in a
+``SimHost`` on the fly -- existing scenario builders keep working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.net.network import Envelope, Network
-from repro.sim.clock import ClockConfig, DriftClock
-from repro.sim.engine import EventHandle, Simulator
-from repro.sim.trace import Tracer
+from repro.runtime.api import Delivery, ProtocolHost, TimerHandle
+
+if TYPE_CHECKING:
+    from repro.runtime.sim_host import NodeContext
 
 
-@dataclass
-class NodeContext:
-    """Everything a node needs to exist in a scenario."""
+def __getattr__(name: str):
+    # Back-compat: ``NodeContext`` moved to repro.runtime.sim_host (it is
+    # sim-specific); keep the historical import path working lazily so this
+    # module itself stays free of simulator imports.
+    if name == "NodeContext":
+        from repro.runtime.sim_host import NodeContext
 
-    sim: Simulator
-    net: Network
-    tracer: Tracer
-    clock_config: ClockConfig = ClockConfig()
+        return NodeContext
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class Node:
-    """A process with a drifting clock, an inbox, and local timers."""
+    """A process with a local clock, an inbox, and local timers."""
 
-    def __init__(self, node_id: int, ctx: NodeContext) -> None:
+    def __init__(self, node_id: int, ctx) -> None:
+        if not hasattr(ctx, "schedule_after"):
+            # A legacy NodeContext bundle: wrap it in the sim backend.
+            from repro.runtime.sim_host import SimHost
+
+            ctx = SimHost.from_context(node_id, ctx)
         self.node_id = node_id
-        self.sim = ctx.sim
-        self.net = ctx.net
+        self.host: ProtocolHost = ctx
+        # Back-compat surface for sim-backed call sites (baselines, fault
+        # scripts, property checkers); None under non-sim backends.
+        self.sim = getattr(ctx, "sim", None)
+        self.net = getattr(ctx, "net", None)
+        self.clock = getattr(ctx, "clock", None)
         self.tracer = ctx.tracer
-        self.clock = DriftClock(ctx.sim, ctx.clock_config)
-        self._timers: list[EventHandle] = []
-        self._timer_compact_at = 256
+        self.rand = getattr(ctx, "rand", None)
         self._crashed = False
-        ctx.net.register(node_id, self._receive)
+        # Hot-path bindings: clock reads resolve straight to the host's
+        # (itself usually a direct binding to the clock's affine map).
+        self.local_now = ctx.now
+        self.now = ctx.now
+        ctx.attach(self._receive)
 
     # ------------------------------------------------------------------
     # Time
     # ------------------------------------------------------------------
-    def local_now(self) -> float:
+    def local_now(self) -> float:  # shadowed by the instance binding above
         """Current local-clock reading."""
-        return self.clock.local_now()
+        return self.host.now()
+
+    now = local_now  # ProtocolHost spelling (also instance-bound in __init__)
+
+    def real_now(self) -> float:
+        """Observer-side real time (results bookkeeping only)."""
+        return self.host.real_now()
+
+    def real_at_local(self, local_time: float) -> float:
+        """Real time at which this node's local reading equals the input."""
+        return self.host.real_at_local(local_time)
 
     # ------------------------------------------------------------------
     # Messaging
@@ -60,20 +91,20 @@ class Node:
         """Point-to-point send (ignored while crashed)."""
         if self._crashed:
             return
-        self.net.send(self.node_id, receiver, payload)
+        self.host.send(receiver, payload)
 
     def broadcast(self, payload: object) -> None:
         """Send to every node, including self (no broadcast medium)."""
         if self._crashed:
             return
-        self.net.broadcast(self.node_id, payload)
+        self.host.broadcast(payload)
 
-    def _receive(self, envelope: Envelope) -> None:
+    def _receive(self, envelope: Delivery) -> None:
         if self._crashed:
             return
         self.on_message(envelope)
 
-    def on_message(self, envelope: Envelope) -> None:
+    def on_message(self, envelope: Delivery) -> None:
         """Handle a delivered message.  Subclasses override."""
         raise NotImplementedError
 
@@ -82,28 +113,27 @@ class Node:
     # ------------------------------------------------------------------
     def after_local(
         self, delay_local: float, action: Callable[[], None], tag: str = ""
-    ) -> EventHandle:
+    ) -> TimerHandle:
         """Run ``action`` after a local-time delay measured on *this* clock."""
-        real_delay = self.clock.real_delay_for_local(delay_local)
 
         def guarded() -> None:
             if not self._crashed:
                 action()
 
-        handle = self.sim.schedule_in(
-            real_delay, guarded, tag=tag or f"timer:{self.node_id}"
+        return self.host.schedule_after(
+            delay_local, guarded, tag or f"timer:{self.node_id}"
         )
-        timers = self._timers
-        timers.append(handle)
-        if len(timers) > self._timer_compact_at:
-            # Compact executed/cancelled handles so long runs (and the
-            # per-triplet deadline timers of the push evaluators) do not
-            # grow this list without bound.  The next compaction point
-            # doubles with the surviving population, so a node that simply
-            # has many live timers is not rescanned on every append.
-            self._timers = [h for h in timers if h.alive]
-            self._timer_compact_at = max(256, 2 * len(self._timers))
-        return handle
+
+    # ProtocolHost spelling; identical semantics (crash-guarded).
+    schedule_after = after_local
+
+    def schedule_at(
+        self, when_local: float, action: Callable[[], None], tag: str = ""
+    ) -> TimerHandle:
+        """Run ``action`` at an absolute local time (clamped to now)."""
+        return self.after_local(
+            max(0.0, when_local - self.host.now()), action, tag
+        )
 
     def every_local(
         self, interval_local: float, action: Callable[[], None], tag: str = ""
@@ -120,9 +150,11 @@ class Node:
 
     def cancel_timers(self) -> None:
         """Cancel all pending timers (used by crash / corruption)."""
-        for handle in self._timers:
-            handle.cancel()
-        self._timers.clear()
+        self.host.cancel_all_timers()
+
+    def live_timer_count(self) -> int:
+        """Still-pending timers on this node's host (hygiene introspection)."""
+        return self.host.live_timer_count()
 
     # ------------------------------------------------------------------
     # Crash control
@@ -158,7 +190,11 @@ class Node:
         tracer = self.tracer
         if tracer.enabled:
             tracer.record(
-                self.sim.now, self.node_id, kind, local_time=self.local_now(), **detail
+                self.host.real_now(),
+                self.node_id,
+                kind,
+                local_time=self.host.now(),
+                **detail,
             )
         else:
             # Count-only fast path: skip the clock reads and event build.

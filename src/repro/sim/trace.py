@@ -29,6 +29,11 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
+# The always-truthy stand-in tracer lives with the sans-I/O host API (the
+# protocol core needs it without importing the simulator); re-exported here
+# for backwards compatibility.
+from repro.runtime.api import ALWAYS_ENABLED
+
 _EMPTY_DETAIL: dict[str, Any] = {}
 
 
@@ -61,14 +66,6 @@ class TraceEvent:
     local_time: Optional[float] = None
 
 
-class _AlwaysEnabled:
-    """Stand-in tracer for hosts that expose none: guards stay truthy."""
-
-    __slots__ = ()
-    enabled = True
-
-
-ALWAYS_ENABLED = _AlwaysEnabled()
 
 
 class Tracer:

@@ -39,6 +39,24 @@ class TestRun:
         assert "agreement: True" in capsys.readouterr().out
 
 
+class TestRunAsync:
+    def test_reaches_agreement_with_byzantine_mirror(self, capsys):
+        assert main(["run-async", "--n", "4", "--f", "1", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "byzantine node 3: mirror" in out
+        assert "agreement: True" in out
+        assert "decided:   3/3 nodes" in out
+
+    def test_correct_only_cast(self, capsys):
+        assert main(
+            ["run-async", "--n", "4", "--f", "1", "--attack", "none",
+             "--time-scale", "0.01"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "agreement: True" in out
+        assert "decided:   4/4 nodes" in out
+
+
 class TestStabilize:
     def test_recovers(self, capsys):
         assert main(["stabilize", "--n", "7", "--seed", "5", "--garbage", "150"]) == 0

@@ -47,6 +47,23 @@ IA_SCHEDULES = 10
 OPS_PER_SCHEDULE = 1200
 
 
+class _ManualTimer:
+    """Cancelable handle for ScriptHost's heap-based manual timers."""
+
+    __slots__ = ("cancelled", "fired")
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    @property
+    def alive(self) -> bool:
+        return not self.cancelled and not self.fired
+
+
 class ScriptHost:
     """Deterministic manual-clock host recording every observable."""
 
@@ -58,12 +75,14 @@ class ScriptHost:
         self._local = 0.0
         self.sent: list[tuple[float, str]] = []
         self.traced: list[tuple[str, str]] = []
-        self._timers: list[tuple[float, int, object]] = []
+        self._timers: list[tuple[float, int, object, _ManualTimer]] = []
         self._seq = itertools.count()
         self._use_timers = timers
 
-    def local_now(self) -> float:
+    def now(self) -> float:
         return self._local
+
+    local_now = now
 
     def broadcast(self, payload: object) -> None:
         self.sent.append((self._local, repr(payload)))
@@ -71,16 +90,25 @@ class ScriptHost:
     def trace(self, kind: str, **detail: object) -> None:
         self.traced.append((kind, repr(sorted(detail.items()))))
 
-    def after_local(self, delay_local: float, action, tag: str = "") -> None:
+    def schedule_after(self, delay_local: float, action, tag: str = "") -> _ManualTimer:
+        handle = _ManualTimer()
         if self._use_timers:
             heapq.heappush(
-                self._timers, (self._local + delay_local, next(self._seq), action)
+                self._timers,
+                (self._local + delay_local, next(self._seq), action, handle),
             )
+        return handle
+
+    def live_timer_count(self) -> int:
+        return sum(1 for *_rest, handle in self._timers if handle.alive)
 
     def advance(self, delta: float) -> None:
         target = self._local + delta
         while self._timers and self._timers[0][0] <= target:
-            at, _seq, action = heapq.heappop(self._timers)
+            at, _seq, action, handle = heapq.heappop(self._timers)
+            if handle.cancelled:
+                continue
+            handle.fired = True
             self._local = max(self._local, at)
             action()
         self._local = target

@@ -1,0 +1,293 @@
+"""Host-conformance suite: SimHost and AsyncioHost against one contract.
+
+The sans-I/O refactor is only worth anything if every backend honours the
+same :class:`~repro.runtime.api.ProtocolHost` semantics, so the contract is
+written once as backend-agnostic coroutines -- monotonic ``now()``, timers
+firing in deadline order (FIFO at equal deadlines), cancelation never
+firing, ``live_timer_count()`` draining to zero, authenticated transport,
+per-node randomness, trace attribution -- and executed against both
+backends.  A third backend earns its keep by passing this file.
+
+The asyncio half necessarily runs against the wall clock: delays are kept
+tiny and assertions are about *ordering and counting*, never exact timing.
+Plus an end-to-end smoke: a 4-node, f = 1 agreement over real coroutines
+with a Byzantine sender in the cast.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.params import BOTTOM, ProtocolParams
+from repro.faults.byzantine import MirrorParticipantStrategy, TwoFacedParticipantStrategy
+from repro.net.delivery import FixedDelay
+from repro.net.network import Network
+from repro.runtime.aio import AsyncioCluster, AsyncioHost, AsyncioTransport, run_agreement_async
+from repro.runtime.sim_host import SimHost
+from repro.sim.engine import Simulator
+from repro.sim.rand import RandomSource
+from repro.sim.trace import Tracer
+
+PARAMS = ProtocolParams(n=4, f=1, delta=1.0, rho=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Backend harnesses: build hosts, advance time, in one uniform shape
+# ---------------------------------------------------------------------------
+class SimHarness:
+    """Discrete-event backend: time advances by running the kernel."""
+
+    name = "sim"
+
+    def __init__(self) -> None:
+        self.sim = Simulator()
+        self.tracer = Tracer(enabled=True)
+        self.net = Network(self.sim, FixedDelay(0.25), RandomSource(11), self.tracer)
+
+    def make_host(self, node_id: int) -> SimHost:
+        return SimHost(
+            node_id,
+            self.sim,
+            self.net,
+            self.tracer,
+            rand=RandomSource(11, f"host/{node_id}"),
+            params=PARAMS,
+        )
+
+    async def drive(self, duration_units: float) -> None:
+        self.sim.run_until(self.sim.now + duration_units)
+
+    def close(self) -> None:
+        pass
+
+
+class AioHarness:
+    """Asyncio backend: time advances by actually sleeping (scaled)."""
+
+    name = "asyncio"
+    TIME_SCALE = 0.002  # 2 ms per protocol unit: fast, yet >> loop jitter
+
+    def __init__(self) -> None:
+        self.tracer = Tracer(enabled=True)
+        self.transport = AsyncioTransport(
+            time_scale=self.TIME_SCALE,
+            policy=FixedDelay(0.25),
+            rand=RandomSource(11, "net"),
+            tracer=self.tracer,
+        )
+        self.hosts: list[AsyncioHost] = []
+
+    def make_host(self, node_id: int) -> AsyncioHost:
+        host = AsyncioHost(
+            node_id,
+            self.transport,
+            params=PARAMS,
+            rand=RandomSource(11, f"host/{node_id}"),
+            tracer=self.tracer,
+        )
+        self.hosts.append(host)
+        return host
+
+    async def drive(self, duration_units: float) -> None:
+        # A slack unit absorbs call_later granularity; assertions below are
+        # about ordering/counting, not exact arrival times.
+        await asyncio.sleep((duration_units + 1.0) * self.TIME_SCALE)
+
+    def close(self) -> None:
+        for host in self.hosts:
+            host.close()
+
+
+# ---------------------------------------------------------------------------
+# The contract, backend-agnostic
+# ---------------------------------------------------------------------------
+async def contract_monotonic_now(h) -> None:
+    host = h.make_host(0)
+    readings = [host.now()]
+    for _ in range(3):
+        await h.drive(1.0)
+        readings.append(host.now())
+    assert readings == sorted(readings), "now() went backwards"
+    assert readings[-1] > readings[0], "now() never advanced"
+
+
+async def contract_timers_fire_in_deadline_order(h) -> None:
+    host = h.make_host(0)
+    fired: list[str] = []
+    host.schedule_after(3.0, lambda: fired.append("late"))
+    host.schedule_after(1.0, lambda: fired.append("early"))
+    host.schedule_after(2.0, lambda: fired.append("middle"))
+    await h.drive(5.0)
+    assert fired == ["early", "middle", "late"]
+
+
+async def contract_equal_deadlines_fifo(h) -> None:
+    host = h.make_host(0)
+    fired: list[int] = []
+    for i in range(5):
+        host.schedule_after(1.0, lambda i=i: fired.append(i))
+    await h.drive(3.0)
+    assert fired == [0, 1, 2, 3, 4], "same-deadline timers must fire FIFO"
+
+
+async def contract_canceled_timer_never_fires(h) -> None:
+    host = h.make_host(0)
+    fired: list[str] = []
+    keep = host.schedule_after(1.0, lambda: fired.append("keep"))
+    drop = host.schedule_after(1.0, lambda: fired.append("drop"))
+    assert keep.alive and drop.alive
+    drop.cancel()
+    assert not drop.alive
+    drop.cancel()  # idempotent
+    await h.drive(3.0)
+    assert fired == ["keep"]
+    assert not keep.alive  # consumed by firing
+
+
+async def contract_schedule_at_absolute_local_time(h) -> None:
+    host = h.make_host(0)
+    fired: list[float] = []
+    target = host.now() + 2.0
+    host.schedule_at(target, lambda: fired.append(host.now()))
+    await h.drive(4.0)
+    assert len(fired) == 1
+    assert fired[0] >= target - 1e-9
+
+
+async def contract_live_timer_count_drains_to_zero(h) -> None:
+    host = h.make_host(0)
+    handles = [host.schedule_after(1.0 + i, lambda: None) for i in range(4)]
+    assert host.live_timer_count() == 4
+    handles[0].cancel()
+    assert host.live_timer_count() == 3
+    await h.drive(10.0)
+    assert host.live_timer_count() == 0, "fired timers must leave the registry"
+    host.schedule_after(1.0, lambda: None)
+    host.cancel_all_timers()
+    assert host.live_timer_count() == 0, "cancel_all_timers must drain"
+
+
+async def contract_transport_authenticates_sender(h) -> None:
+    host_a, host_b = h.make_host(0), h.make_host(1)
+    inbox_a: list = []
+    inbox_b: list = []
+    host_a.attach(inbox_a.append)
+    host_b.attach(inbox_b.append)
+    host_a.send(1, "hello")
+    await h.drive(2.0)
+    assert [(e.sender, e.payload) for e in inbox_b] == [(0, "hello")]
+    assert inbox_a == []
+
+
+async def contract_broadcast_reaches_all_including_self(h) -> None:
+    hosts = [h.make_host(i) for i in range(3)]
+    inboxes: list[list] = [[] for _ in hosts]
+    for host, inbox in zip(hosts, inboxes):
+        host.attach(inbox.append)
+    hosts[2].broadcast("wave")
+    await h.drive(2.0)
+    for inbox in inboxes:
+        assert [(e.sender, e.payload) for e in inbox] == [(2, "wave")]
+
+
+async def contract_rand_is_per_node_deterministic(h) -> None:
+    host = h.make_host(0)
+    draws = [host.rand.randint(0, 10 ** 9) for _ in range(4)]
+    replay = RandomSource(11, "host/0")
+    assert draws == [replay.randint(0, 10 ** 9) for _ in range(4)]
+
+
+async def contract_trace_attributes_node_and_local_time(h) -> None:
+    host = h.make_host(0)
+    assert host.trace_enabled
+    host.trace("conformance_probe", detail=42)
+    events = [ev for ev in h.tracer.events if ev.kind == "conformance_probe"]
+    assert len(events) == 1
+    assert events[0].node == 0
+    assert events[0].detail == {"detail": 42}
+    assert events[0].local_time is not None
+
+
+CONTRACTS = [
+    contract_monotonic_now,
+    contract_timers_fire_in_deadline_order,
+    contract_equal_deadlines_fifo,
+    contract_canceled_timer_never_fires,
+    contract_schedule_at_absolute_local_time,
+    contract_live_timer_count_drains_to_zero,
+    contract_transport_authenticates_sender,
+    contract_broadcast_reaches_all_including_self,
+    contract_rand_is_per_node_deterministic,
+    contract_trace_attributes_node_and_local_time,
+]
+CONTRACT_IDS = [fn.__name__.removeprefix("contract_") for fn in CONTRACTS]
+
+
+async def _run_contract(harness_cls, contract) -> None:
+    harness = harness_cls()
+    try:
+        await contract(harness)
+    finally:
+        harness.close()
+
+
+@pytest.mark.parametrize("contract", CONTRACTS, ids=CONTRACT_IDS)
+def test_sim_host_conformance(contract) -> None:
+    asyncio.run(_run_contract(SimHarness, contract))
+
+
+@pytest.mark.parametrize("contract", CONTRACTS, ids=CONTRACT_IDS)
+def test_asyncio_host_conformance(contract) -> None:
+    asyncio.run(_run_contract(AioHarness, contract))
+
+
+# ---------------------------------------------------------------------------
+# Asyncio end-to-end smoke: agreement with a Byzantine sender in the cast
+# ---------------------------------------------------------------------------
+class TestAsyncioAgreementSmoke:
+    def test_n4_f1_agreement_under_byzantine_mirror_sender(self) -> None:
+        """All three correct nodes decide the General's value over asyncio."""
+        cluster, decisions = asyncio.run(
+            run_agreement_async(
+                n=4,
+                f=1,
+                seed=3,
+                value="v",
+                byzantine={3: MirrorParticipantStrategy()},
+                time_scale=0.02,
+            )
+        )
+        assert sorted(decisions) == [0, 1, 2]
+        assert all(dec.value == "v" for dec in decisions.values())
+        assert cluster.transport.delivered_count > 0
+        # Timer hygiene across the whole cluster: close() ran, so every
+        # host's registry (cleanup ticks included) is drained.
+        for host in cluster.hosts.values():
+            assert host.live_timer_count() == 0
+
+    def test_n4_f1_agreement_under_twofaced_sender(self) -> None:
+        """A quorum-splitting participant cannot split 3 correct nodes."""
+        _cluster, decisions = asyncio.run(
+            run_agreement_async(
+                n=4,
+                f=1,
+                seed=9,
+                value="w",
+                byzantine={3: TwoFacedParticipantStrategy(camp=(0, 1))},
+                time_scale=0.02,
+            )
+        )
+        decided = {repr(d.value) for d in decisions.values() if d.value is not BOTTOM}
+        assert len(decided) <= 1, f"correct nodes split: {decided}"
+        assert decided == {"'w'"}
+
+    def test_correct_only_cluster_reuses_protocol_unchanged(self) -> None:
+        """No Byzantine cast: plain agreement, and counters look sane."""
+        cluster, decisions = asyncio.run(
+            run_agreement_async(n=4, f=1, seed=0, value="x", time_scale=0.02)
+        )
+        assert sorted(decisions) == [0, 1, 2, 3]
+        assert {d.value for d in decisions.values()} == {"x"}
+        assert cluster.transport.sent_count >= cluster.transport.delivered_count
