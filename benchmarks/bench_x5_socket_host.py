@@ -1,0 +1,88 @@
+"""X5: socket runtime backend -- end-to-end agreement latency over UDP.
+
+The socket backend (``repro.runtime.socket_host``) runs the exact protocol
+code of the simulator as one OS process per node exchanging authenticated
+UDP frames on localhost.  This bench measures what the full deployment
+shape costs in wall clock: one n = 4, f = 1 agreement per round with one
+mirror-amplifying Byzantine sender, at the conservative default
+(d = 50 ms) and a tighter scale (d = 20 ms) that leans on the kernel's
+scheduling precision.  Spawn overhead (4 interpreter starts per run) is
+reported separately from the agreement itself via the protocol-time return
+stamp.
+
+Recorded to ``BENCH_perf.json`` (kind ``end_to_end``; the kernel
+regression diff ignores it -- socket numbers are machine- and
+load-dependent by design).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.faults.byzantine import MirrorParticipantStrategy
+from repro.runtime.socket_host import run_agreement_socket
+
+from benchmarks.conftest import print_rows, record_bench_result
+
+N = 4
+F = 1
+SEEDS = (0, 1)
+TIME_SCALES = (0.05, 0.02)
+
+
+def _one_agreement(seed: int, time_scale: float) -> dict:
+    start = time.perf_counter()
+    report, decisions = run_agreement_socket(
+        n=N,
+        f=F,
+        seed=seed,
+        value="bench",
+        byzantine={N - 1: MirrorParticipantStrategy()},
+        time_scale=time_scale,
+    )
+    wall_s = time.perf_counter() - start
+    decided = [d for d in decisions.values() if d.decided]
+    assert len(decided) == len(report.correct_ids), "bench run failed to agree"
+    assert {d.value for d in decided} == {"bench"}
+    assert report.clean_exit, "bench run leaked timers or children"
+    return {
+        "seed": seed,
+        "time_scale_s": time_scale,
+        "wall_s": wall_s,
+        "last_return_local": max(d.returned_local for d in decided),
+        "datagrams_sent": report.sent_count,
+        "datagrams_delivered": report.delivered_count,
+        "frames_rejected": report.rejected_count,
+    }
+
+
+def bench_x5_socket_agreement_latency(benchmark):
+    rows = [
+        _one_agreement(seed, scale) for scale in TIME_SCALES for seed in SEEDS
+    ]
+    print_rows("X5: socket host end-to-end agreement latency (UDP)", rows)
+
+    by_scale = {
+        scale: [row for row in rows if row["time_scale_s"] == scale]
+        for scale in TIME_SCALES
+    }
+    record_bench_result(
+        "x5_socket_host",
+        kind="end_to_end",
+        n=N,
+        f=F,
+        seeds=len(SEEDS),
+        byzantine="mirror",
+        transport="udp-localhost",
+        scales={
+            str(scale): {
+                "mean_wall_s": sum(r["wall_s"] for r in group) / len(group),
+                "mean_return_local": sum(r["last_return_local"] for r in group)
+                / len(group),
+            }
+            for scale, group in by_scale.items()
+        },
+    )
+    benchmark.pedantic(
+        lambda: _one_agreement(0, TIME_SCALES[0]), rounds=2, iterations=1
+    )

@@ -12,13 +12,30 @@ echo "== tier-1 tests =="
 python -m pytest -x -q
 
 echo
-echo "== runtime host conformance (SimHost + AsyncioHost contract) =="
+echo "== runtime host conformance (Sim + Asyncio + Socket contract) =="
 python -m pytest tests/test_runtime.py -q
 
 echo
 echo "== asyncio runtime smoke (n=4 f=1, byzantine mirror sender) =="
 # d = 50 ms wall: loaded-machine scheduling stalls stay inside the windows.
 python -m repro.cli run-async --n 4 --f 1 --time-scale 0.05
+
+echo
+echo "== socket runtime smoke (n=4 f=1, byzantine mirror sender, real UDP) =="
+# One OS process per node exchanging authenticated UDP datagrams.  The hard
+# timeout turns a hung backend into a fast failure instead of wedging CI.
+# Node children self-reap when the parent dies (pipe EOF -> clean stop); the
+# sleep gives them that window.  The pkill sweep matches *every* spawn-based
+# multiprocessing child, so it only runs on dedicated CI runners ($CI set) --
+# never on a developer machine, where it could kill unrelated work.
+if ! timeout -k 10 120 python -m repro.cli run-socket --n 4 --f 1 --time-scale 0.05; then
+    echo "socket runtime smoke FAILED (timed out or unclean exit)" >&2
+    sleep 3
+    if [ "${CI:-}" != "" ]; then
+        pkill -f "from multiprocessing.spawn import spawn_main" 2>/dev/null || true
+    fi
+    exit 1
+fi
 
 echo
 echo "== suite smoke (scenario matrix: 2 timelines x 2 seeds) =="
@@ -35,9 +52,9 @@ else
 fi
 
 echo
-echo "== benchmark smoke (kernel micro-benchmarks + asyncio host latency) =="
+echo "== benchmark smoke (kernel micro-benchmarks + asyncio/socket host latency) =="
 python -m pytest benchmarks/bench_perf_kernel.py benchmarks/bench_x4_asyncio_host.py \
-    --benchmark-only -q
+    benchmarks/bench_x5_socket_host.py --benchmark-only -q
 
 echo
 echo "== validating BENCH_perf.json =="
@@ -64,6 +81,8 @@ required = (
     "e1_small_end_to_end",
     "e5_small_end_to_end",
     "e9_small_end_to_end",
+    "x4_asyncio_host",
+    "x5_socket_host",
 )
 missing = [name for name in required if name not in results]
 if missing:

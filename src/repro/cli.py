@@ -17,6 +17,12 @@ Subcommands::
         same protocol code the simulator drives, hosted sans-I/O.  By
         default one participant is a mirror-amplifying Byzantine sender.
 
+    python -m repro.cli run-socket --n 4 --f 1
+        Run one agreement on the **socket runtime backend**: one OS process
+        per node, real UDP datagrams on localhost, authenticated frames,
+        wall-clock timers.  Same default Byzantine cast as ``run-async``;
+        exits non-zero if any child leaks a timer or fails to exit cleanly.
+
     python -m repro.cli stabilize --n 7 --seed 5
         Run the havoc -> Delta_stb -> agree stabilization scenario and
         report recovery.  Also accepts ``--seeds``/``--workers``.
@@ -109,6 +115,32 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="wall-clock seconds per protocol time unit (default: 0.02)",
+    )
+
+    run_socket = sub.add_parser(
+        "run-socket",
+        help="run one agreement on the socket runtime backend "
+        "(UDP datagrams, one OS process per node)",
+    )
+    add_model_args(run_socket)
+    run_socket.add_argument("--seed", type=int, default=0)
+    run_socket.add_argument("--value", default="v", help="the General's value")
+    run_socket.add_argument("--general", type=int, default=0)
+    run_socket.add_argument(
+        "--attack", choices=ASYNC_ATTACKS, default="mirror",
+        help="byzantine cast (default: one mirror-amplifying participant)",
+    )
+    run_socket.add_argument(
+        "--time-scale",
+        type=float,
+        default=None,
+        help="wall-clock seconds per protocol time unit (default: 0.05)",
+    )
+    run_socket.add_argument(
+        "--timeout-units",
+        type=float,
+        default=None,
+        help="hard per-child deadline in protocol units (default: 3 * Delta_agr)",
     )
 
     stab = sub.add_parser("stabilize", help="havoc -> wait Delta_stb -> agree")
@@ -255,42 +287,87 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if report.holds else 1
 
 
-def cmd_run_async(args: argparse.Namespace) -> int:
-    import asyncio
-
-    from repro.core.params import BOTTOM as _BOTTOM
+def _wallclock_attack_cast(
+    command: str, attack: str, general: int, params: ProtocolParams
+) -> tuple[Optional[int], dict]:
+    """Byzantine cast for the wall-clock backends; raises SystemExit(2) on
+    an unusable configuration (mirrors the argparse error convention)."""
     from repro.faults.byzantine import (
         CrashStrategy as _Crash,
         MirrorParticipantStrategy,
         TwoFacedParticipantStrategy,
     )
+
+    if not 0 <= general < params.n:
+        print(f"{command}: --general {general} out of range for n={params.n}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    byz_id: Optional[int] = None
+    if attack != "none":
+        others = tuple(i for i in range(params.n) if i != general)
+        if not others:
+            print(f"{command}: no non-General node left to play the Byzantine "
+                  "sender; use --attack none", file=sys.stderr)
+            raise SystemExit(2)
+        byz_id = others[-1]  # highest non-General id plays the Byzantine sender
+    if attack == "none":
+        byzantine = {}
+    elif attack == "mirror":
+        byzantine = {byz_id: MirrorParticipantStrategy()}
+    elif attack == "twofaced":
+        half = [i for i in range(params.n) if i != byz_id][: params.n // 2]
+        byzantine = {byz_id: TwoFacedParticipantStrategy(tuple(half))}
+    elif attack == "crash":
+        byzantine = {byz_id: _Crash()}
+    else:
+        raise AssertionError(attack)
+    return byz_id, byzantine
+
+
+def _wallclock_verdict(
+    decisions: dict,
+    correct: list,
+    byz_id: Optional[int],
+    attack: str,
+    value: str,
+    transport_line: str,
+) -> bool:
+    """Shared report tail for the wall-clock backends: print per-node
+    outcomes and the agreement/decided verdicts; True iff the run is good."""
+    if byz_id is not None:
+        print(f"byzantine node {byz_id}: {attack}")
+    for node_id in correct:
+        dec = decisions.get(node_id)
+        if dec is None:
+            print(f"node {node_id}: (no return within timeout)")
+        else:
+            outcome = "ABORT" if dec.value is BOTTOM else repr(dec.value)
+            print(f"node {node_id}: {outcome} at local={dec.returned_local:.2f}")
+    print(transport_line)
+    decided = [d for d in decisions.values() if d.decided]
+    agreement = (
+        len(decisions) == len(correct)
+        and len({repr(d.value) for d in decisions.values()}) <= 1
+    )
+    all_decided_value = bool(decided) and all(d.value == value for d in decided)
+    print(f"agreement: {agreement}")
+    print(f"decided:   {len(decided)}/{len(correct)} nodes")
+    return agreement and all_decided_value
+
+
+def cmd_run_async(args: argparse.Namespace) -> int:
+    import asyncio
+
     from repro.runtime.aio import DEFAULT_TIME_SCALE, run_agreement_async
 
     params = _params(args)
     general = args.general
-    if not 0 <= general < params.n:
-        print(f"run-async: --general {general} out of range for n={params.n}",
-              file=sys.stderr)
-        return 2
-    byz_id: Optional[int] = None
-    if args.attack != "none":
-        others = tuple(i for i in range(params.n) if i != general)
-        if not others:
-            print("run-async: no non-General node left to play the Byzantine "
-                  "sender; use --attack none", file=sys.stderr)
-            return 2
-        byz_id = others[-1]  # highest non-General id plays the Byzantine sender
-    if args.attack == "none":
-        byzantine = {}
-    elif args.attack == "mirror":
-        byzantine = {byz_id: MirrorParticipantStrategy()}
-    elif args.attack == "twofaced":
-        half = [i for i in range(params.n) if i != byz_id][: params.n // 2]
-        byzantine = {byz_id: TwoFacedParticipantStrategy(tuple(half))}
-    elif args.attack == "crash":
-        byzantine = {byz_id: _Crash()}
-    else:
-        raise AssertionError(args.attack)
+    try:
+        byz_id, byzantine = _wallclock_attack_cast(
+            "run-async", args.attack, general, params
+        )
+    except SystemExit as exc:
+        return int(exc.code)
 
     time_scale = args.time_scale if args.time_scale is not None else DEFAULT_TIME_SCALE
     cluster, decisions = asyncio.run(
@@ -307,32 +384,60 @@ def cmd_run_async(args: argparse.Namespace) -> int:
         )
     )
 
-    correct = sorted(cluster.correct_ids)
-    if byzantine:
-        print(f"byzantine node {byz_id}: {args.attack}")
-    for node_id in correct:
-        dec = decisions.get(node_id)
-        if dec is None:
-            print(f"node {node_id}: (no return within timeout)")
-        else:
-            outcome = "ABORT" if dec.value is _BOTTOM else repr(dec.value)
-            print(f"node {node_id}: {outcome} at local={dec.returned_local:.2f}")
-    print(
+    ok = _wallclock_verdict(
+        decisions,
+        sorted(cluster.correct_ids),
+        byz_id if byzantine else None,
+        args.attack,
+        args.value,
         f"transport: {cluster.transport.sent_count} sent, "
         f"{cluster.transport.delivered_count} delivered "
-        f"(time_scale={time_scale}s/unit)"
+        f"(time_scale={time_scale}s/unit)",
     )
-    decided = [d for d in decisions.values() if d.decided]
-    agreement = (
-        len(decisions) == len(correct)
-        and len({repr(d.value) for d in decisions.values()}) <= 1
+    return 0 if ok else 1
+
+
+def cmd_run_socket(args: argparse.Namespace) -> int:
+    from repro.runtime.socket_host import DEFAULT_TIME_SCALE, run_agreement_socket
+
+    params = _params(args)
+    general = args.general
+    try:
+        byz_id, byzantine = _wallclock_attack_cast(
+            "run-socket", args.attack, general, params
+        )
+    except SystemExit as exc:
+        return int(exc.code)
+
+    time_scale = args.time_scale if args.time_scale is not None else DEFAULT_TIME_SCALE
+    report, decisions = run_agreement_socket(
+        n=params.n,
+        f=params.f,
+        seed=args.seed,
+        value=args.value,
+        general=general,
+        byzantine=byzantine,
+        time_scale=time_scale,
+        delta=args.delta,
+        rho=args.rho,
+        timeout_units=args.timeout_units,
     )
-    all_decided_value = bool(decided) and all(
-        d.value == args.value for d in decided
+
+    leaked = {i: c for i, c in report.live_timers.items() if c != 0}
+    dirty = {i: c for i, c in report.exit_codes.items() if c != 0}
+    ok = _wallclock_verdict(
+        decisions,
+        sorted(report.correct_ids),
+        byz_id if byzantine else None,
+        args.attack,
+        args.value,
+        f"transport: {report.sent_count} sent, {report.delivered_count} delivered, "
+        f"{report.rejected_count} rejected frames "
+        f"(time_scale={time_scale}s/unit, udp localhost)\n"
+        f"live timers: {'all drained' if not leaked else leaked}\n"
+        f"children:    {'all exited 0' if not dirty else dirty}",
     )
-    print(f"agreement: {agreement}")
-    print(f"decided:   {len(decided)}/{len(correct)} nodes")
-    return 0 if (agreement and all_decided_value) else 1
+    return 0 if (ok and report.clean_exit) else 1
 
 
 def cmd_stabilize(args: argparse.Namespace) -> int:
@@ -421,6 +526,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_run(args)
     if args.command == "run-async":
         return cmd_run_async(args)
+    if args.command == "run-socket":
+        return cmd_run_socket(args)
     if args.command == "stabilize":
         return cmd_stabilize(args)
     if args.command == "suite":

@@ -36,6 +36,26 @@ from repro.runtime.api import ProtocolHost, RandomStream
 
 
 
+def eager_fresh_senders(log: MessageLog, key, start: float, now: float) -> set:
+    """The eager oracle for one anchored window: a full rescan, no caches.
+
+    Recomputes "senders with an arrival in the closed window [start, now]"
+    straight from the log's raw per-sender records -- the semantics every
+    fresh-window count in this module's evaluators (and the incremental
+    :meth:`~repro.node.msglog.MessageLog.watch` counters that replace them)
+    must reproduce.  ``tests/test_eval_equiv.py`` fuzzes the watch API
+    against this function through long adversarial schedules.
+    """
+    klog = log._keys.get(key)
+    if klog is None:
+        return set()
+    return {
+        sender
+        for sender, arrivals in klog.per_sender.items()
+        if any(start <= arrival <= now for arrival in arrivals)
+    }
+
+
 # Callback signatures shared with the incremental evaluators.
 MbAcceptCallback = Callable[[int, Value, int, float], None]
 BroadcasterCallback = Optional[Callable[[int], None]]

@@ -7,6 +7,10 @@
   adapter over ``repro.sim``).
 * :mod:`repro.runtime.aio` -- the asyncio backend: real coroutines,
   wall-clock-scaled timers, in-process transport.
+* :mod:`repro.runtime.socket_host` -- the real-socket backend: UDP
+  datagrams on localhost, one OS process per node.
+* :mod:`repro.runtime.framing` -- the authenticated wire format shared by
+  both non-sim transports.
 
 The backends are imported lazily so pulling in the API (or the sim adapter)
 never drags the asyncio machinery along, and vice versa.
@@ -30,6 +34,10 @@ _LAZY = {
     "AsyncioTransport": "repro.runtime.aio",
     "AsyncioCluster": "repro.runtime.aio",
     "run_agreement_async": "repro.runtime.aio",
+    "SocketHost": "repro.runtime.socket_host",
+    "SocketTransport": "repro.runtime.socket_host",
+    "SocketCluster": "repro.runtime.socket_host",
+    "run_agreement_socket": "repro.runtime.socket_host",
 }
 
 
@@ -52,9 +60,13 @@ __all__ = [
     "ProtocolHost",
     "RandomStream",
     "SimHost",
+    "SocketCluster",
+    "SocketHost",
+    "SocketTransport",
     "TimerHandle",
     "TimerRegistry",
     "TraceSink",
     "Transport",
     "run_agreement_async",
+    "run_agreement_socket",
 ]

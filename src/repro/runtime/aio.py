@@ -37,7 +37,8 @@ from repro.core.messages import Value
 from repro.core.params import ProtocolParams
 from repro.net.delivery import DeliveryPolicy, UniformDelay
 from repro.net.network import Envelope
-from repro.runtime.api import Action, TimerRegistry
+from repro.runtime.api import INERT_TIMER, Action, TimerHandle, TimerRegistry
+from repro.runtime.framing import FrameError, decode_frame, derive_key, encode_frame
 from repro.sim.rand import RandomSource
 from repro.sim.trace import Tracer
 
@@ -75,6 +76,13 @@ class AsyncioTransport:
     policy draws per-copy delays (in protocol units) from the seeded stream,
     so the *intended* delays are deterministic even though actual arrival
     interleaving is at the loop's mercy.
+
+    Every copy travels as **bytes**: the payload is encoded into an
+    authenticated frame (:mod:`repro.runtime.framing` -- the same wire
+    format the socket backend puts on UDP) at send time and decoded at
+    delivery, so the asyncio backend exercises serialization and frame
+    authentication even though it never leaves the process.  Frames that
+    fail to decode are counted in ``rejected_count`` and dropped.
     """
 
     def __init__(
@@ -83,12 +91,16 @@ class AsyncioTransport:
         policy: Optional[DeliveryPolicy] = None,
         rand: Optional[RandomSource] = None,
         tracer: Optional[Tracer] = None,
+        auth_key: Optional[bytes] = None,
+        codec: str = "json",
     ) -> None:
         if time_scale <= 0:
             raise ValueError(f"time_scale must be positive, got {time_scale!r}")
         self.loop = asyncio.get_running_loop()
         self.epoch = self.loop.time()
         self.time_scale = time_scale
+        self.auth_key = auth_key if auth_key is not None else derive_key("aio-transport")
+        self.codec = codec
         self._policy = policy
         self._rand = rand if rand is not None else RandomSource(0, "aio/net")
         self._tracer = tracer
@@ -97,6 +109,7 @@ class AsyncioTransport:
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
+        self.rejected_count = 0
 
     # ------------------------------------------------------------------
     # Time (shared axis for every host on this transport)
@@ -126,6 +139,27 @@ class AsyncioTransport:
     def send(self, sender: int, receiver: int, payload: object) -> None:
         if receiver not in self._receivers:
             raise ValueError(f"unknown receiver {receiver}")
+        self._send_copy(sender, receiver, payload, self._encode(sender, payload))
+
+    def broadcast(self, sender: int, payload: object) -> None:
+        """n point-to-point copies, one per registered node (self included).
+
+        The frame is encoded and HMAC'd **once** for the whole wave (one
+        ``sent_at`` stamp, as the sim network stamps a broadcast once);
+        only the per-copy policy draw and delivery timer differ.
+        """
+        frame = self._encode(sender, payload)
+        for receiver in self.node_ids:
+            self._send_copy(sender, receiver, payload, frame)
+
+    def _encode(self, sender: int, payload: object) -> bytes:
+        return encode_frame(
+            sender, payload, self.auth_key, sent_at=self.now(), codec=self.codec
+        )
+
+    def _send_copy(
+        self, sender: int, receiver: int, payload: object, frame: bytes
+    ) -> None:
         self.sent_count += 1
         tracer = self._tracer
         if tracer is not None:
@@ -142,24 +176,22 @@ class AsyncioTransport:
                 self.dropped_count += 1
                 return
             delay_units = decision.delay
-        sent_at = self.now()
         self.loop.call_later(
             delay_units * self.time_scale,
-            self._deliver_now,
-            sender,
+            self._deliver_frame,
             receiver,
-            payload,
-            sent_at,
+            frame,
         )
 
-    def broadcast(self, sender: int, payload: object) -> None:
-        """n point-to-point copies, one per registered node (self included)."""
-        for receiver in self.node_ids:
-            self.send(sender, receiver, payload)
-
-    def _deliver_now(
-        self, sender: int, receiver: int, payload: object, sent_at: float
-    ) -> None:
+    def _deliver_frame(self, receiver: int, frame_bytes: bytes) -> None:
+        try:
+            frame = decode_frame(frame_bytes, self.auth_key)
+        except FrameError:
+            self.rejected_count += 1
+            if self._tracer is not None:
+                self._tracer.bump("frame_rejected")
+            return
+        sender, payload, sent_at = frame
         self.delivered_count += 1
         now = self.now()
         envelope = Envelope(
@@ -220,13 +252,13 @@ class AsyncioHost:
     # ------------------------------------------------------------------
     def schedule_after(
         self, delay_local: float, action: Action, tag: str = ""
-    ) -> AioTimerHandle:
-        handle = AioTimerHandle()
+    ) -> TimerHandle:
         if self._closed:
             # In-flight deliveries can still reach the node in the loop
             # iteration that tears the cluster down; a closed host refuses
             # to arm anything new so the registry stays drained.
-            return handle
+            return INERT_TIMER
+        handle = AioTimerHandle()
 
         def fire() -> None:
             handle._alive = False
@@ -241,7 +273,7 @@ class AsyncioHost:
 
     def schedule_at(
         self, when_local: float, action: Action, tag: str = ""
-    ) -> AioTimerHandle:
+    ) -> TimerHandle:
         return self.schedule_after(when_local - self.now(), action, tag)
 
     def live_timer_count(self) -> int:
@@ -320,6 +352,7 @@ class AsyncioCluster:
             policy=policy or UniformDelay(0.05 * params.delta, 0.5 * params.delta),
             rand=self.rng.split("net"),
             tracer=self.tracer,
+            auth_key=derive_key(f"aio-cluster/{seed}"),
         )
         self.nodes: dict[int, object] = {}
         self.hosts: dict[int, AsyncioHost] = {}

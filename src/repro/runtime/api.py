@@ -13,12 +13,15 @@ this module; concrete runtimes live next door:
   discrete-event kernel (``repro.sim``), bit-identical to the pre-refactor
   wiring at fixed seeds;
 * :class:`repro.runtime.aio.AsyncioHost` -- real coroutines and wall-clock
-  timers on the ``asyncio`` loop, with an in-process transport.
+  timers on the ``asyncio`` loop, with an in-process transport;
+* :class:`repro.runtime.socket_host.SocketHost` -- real UDP datagrams on
+  localhost, one OS process per node, authenticated frames.
 
-A third backend (e.g. real sockets) only has to satisfy this surface; the
-conformance suite in ``tests/test_runtime.py`` spells out the contract
-(monotonic ``now()``, FIFO ordering of same-deadline timers, cancelation,
-``live_timer_count()`` draining to zero).
+A new backend only has to satisfy this surface; the conformance suite in
+``tests/test_runtime.py`` spells out the contract (monotonic ``now()``,
+FIFO ordering of same-deadline timers, idempotent cancelation, refusal of
+timers after ``close()``, ``live_timer_count()`` draining to zero,
+exactly-once broadcast, trace attribution).
 """
 
 from __future__ import annotations
@@ -183,6 +186,27 @@ class ProtocolHost(Protocol):
         ...
 
 
+class InertTimerHandle:
+    """A never-armed handle: what a *closed* host returns from scheduling.
+
+    The conformance contract requires every backend to refuse new timers
+    after ``close()`` -- returning this shared sentinel keeps the refusal
+    allocation-free and makes ``handle.alive`` immediately False.
+    """
+
+    __slots__ = ()
+
+    def cancel(self) -> None:
+        pass
+
+    @property
+    def alive(self) -> bool:
+        return False
+
+
+INERT_TIMER = InertTimerHandle()
+
+
 class TimerRegistry:
     """Host-side bookkeeping of live timer handles.
 
@@ -224,6 +248,8 @@ __all__ = [
     "ALWAYS_ENABLED",
     "Action",
     "Delivery",
+    "INERT_TIMER",
+    "InertTimerHandle",
     "ProtocolHost",
     "RandomStream",
     "TimerHandle",

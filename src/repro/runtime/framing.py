@@ -1,0 +1,261 @@
+"""Shared wire framing for the byte-level runtime backends.
+
+The sim backend hands Python objects straight to receivers, but the asyncio
+and socket backends move *bytes*: every message is one self-delimiting,
+authenticated frame.  Keeping the encode/decode pair here -- used verbatim
+by :class:`repro.runtime.aio.AsyncioTransport` and
+:class:`repro.runtime.socket_host.SocketTransport` -- means both non-sim
+transports agree on the format byte for byte, and the hardening tests in
+``tests/test_framing.py`` cover them both at once.
+
+Frame layout (big-endian)::
+
+    magic   2 bytes   b"SB"
+    codec   1 byte    b"J" (json) or b"M" (msgpack, only if installed)
+    sender  4 bytes   claimed sender id
+    length  4 bytes   body length in bytes (<= MAX_BODY_BYTES)
+    body    N bytes   codec({"t": sent_at, "p": <tagged payload>})
+    tag     16 bytes  HMAC-SHA256(key, header || body), truncated
+
+The tag covers the header, so a frame with a forged ``sender`` fails
+authentication outright -- this is what implements the model's Definition 2
+("the receiver always learns the true sender") over a fabric where anyone
+can transmit a datagram.  The key is a per-cluster shared secret: it defends
+sender identity against *network-level* spoofing, which is the model's
+guarantee; it does not model key compromise (a Byzantine process holds the
+cluster key but only ever frames its own id through this API).
+
+Payloads are the protocol message dataclasses, scalars, tuples and the
+``BOTTOM`` sentinel; anything else is refused at encode time rather than
+silently mangled.  msgpack is optional equipment -- the container may not
+ship it -- so the codec is negotiated per frame and JSON is the default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import hmac
+import json
+import struct
+from typing import Any, NamedTuple
+
+from repro.core.messages import ALL_MESSAGE_TYPES
+from repro.core.params import BOTTOM
+
+try:  # optional: the image does not bake msgpack in; JSON is the default
+    import msgpack  # type: ignore
+
+    HAVE_MSGPACK = True
+except ImportError:  # pragma: no cover - exercised only without msgpack
+    msgpack = None
+    HAVE_MSGPACK = False
+
+MAGIC = b"SB"
+CODEC_JSON = b"J"
+CODEC_MSGPACK = b"M"
+#: Bound on the encoded body.  Protocol messages are tens of bytes; the cap
+#: keeps every frame inside a single localhost UDP datagram with room to
+#: spare and turns a runaway payload into a loud error instead of silent
+#: fragmentation.
+MAX_BODY_BYTES = 16384
+TAG_BYTES = 16
+_HEADER = struct.Struct(">2s c I I")
+HEADER_BYTES = _HEADER.size
+#: Smallest well-formed frame (empty body is still invalid JSON, but the
+#: *structural* minimum is header + tag).
+MIN_FRAME_BYTES = HEADER_BYTES + TAG_BYTES
+
+_MESSAGE_CLASSES = {cls.__name__: cls for cls in ALL_MESSAGE_TYPES}
+
+
+class FrameError(Exception):
+    """Base class for every framing failure."""
+
+
+class TruncatedFrameError(FrameError):
+    """The byte string is shorter than its header promises."""
+
+
+class OversizedFrameError(FrameError):
+    """The body exceeds :data:`MAX_BODY_BYTES` (encode- or decode-side)."""
+
+
+class FrameAuthError(FrameError):
+    """The authentication tag does not verify (includes forged senders)."""
+
+
+class FrameCodecError(FrameError):
+    """Bad magic, unknown codec, or an undecodable/unencodable payload."""
+
+
+def derive_key(material: str) -> bytes:
+    """Derive a 32-byte frame key from a seed string (per-cluster secret)."""
+    return hashlib.sha256(f"repro-frame-key:{material}".encode()).digest()
+
+
+# ---------------------------------------------------------------------------
+# Payload tagging: protocol objects <-> codec-neutral trees
+# ---------------------------------------------------------------------------
+def _to_wire(obj: Any) -> Any:
+    if obj is BOTTOM:
+        return {"__": "bot"}
+    if isinstance(obj, ALL_MESSAGE_TYPES):
+        return {
+            "__": "msg",
+            "k": type(obj).__name__,
+            "f": {
+                field.name: _to_wire(getattr(obj, field.name))
+                for field in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, tuple):
+        return {"__": "tup", "v": [_to_wire(item) for item in obj]}
+    if isinstance(obj, list):
+        return [_to_wire(item) for item in obj]
+    if isinstance(obj, dict):
+        for key in obj:
+            if not isinstance(key, str):
+                raise FrameCodecError(f"non-string dict key {key!r}")
+        return {"__": "map", "v": {key: _to_wire(val) for key, val in obj.items()}}
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise FrameCodecError(f"payload type {type(obj).__name__!r} is not wire-safe")
+
+
+def _from_wire(tree: Any) -> Any:
+    if isinstance(tree, dict):
+        tag = tree.get("__")
+        if tag == "bot":
+            return BOTTOM
+        if tag == "msg":
+            cls = _MESSAGE_CLASSES.get(tree.get("k"))
+            if cls is None:
+                raise FrameCodecError(f"unknown message class {tree.get('k')!r}")
+            fields = tree.get("f")
+            if not isinstance(fields, dict):
+                raise FrameCodecError("malformed message fields")
+            try:
+                return cls(**{name: _from_wire(val) for name, val in fields.items()})
+            except TypeError as exc:
+                raise FrameCodecError(f"bad fields for {cls.__name__}: {exc}") from exc
+        if tag == "tup":
+            return tuple(_from_wire(item) for item in tree.get("v", ()))
+        if tag == "map":
+            value = tree.get("v")
+            if not isinstance(value, dict):
+                raise FrameCodecError("malformed map payload")
+            return {key: _from_wire(val) for key, val in value.items()}
+        raise FrameCodecError(f"unknown payload tag {tag!r}")
+    if isinstance(tree, list):
+        return [_from_wire(item) for item in tree]
+    return tree
+
+
+# ---------------------------------------------------------------------------
+# Frames
+# ---------------------------------------------------------------------------
+class Frame(NamedTuple):
+    """A decoded, authenticated frame."""
+
+    sender: int
+    payload: Any
+    sent_at: float
+
+
+def encode_frame(
+    sender: int,
+    payload: Any,
+    key: bytes,
+    sent_at: float = 0.0,
+    codec: str = "json",
+) -> bytes:
+    """Encode one authenticated frame (raises :class:`FrameError` variants)."""
+    tree = {"t": sent_at, "p": _to_wire(payload)}
+    if codec == "json":
+        codec_byte = CODEC_JSON
+        body = json.dumps(tree, separators=(",", ":")).encode()
+    elif codec == "msgpack":
+        if not HAVE_MSGPACK:
+            raise FrameCodecError("msgpack codec requested but msgpack is not installed")
+        codec_byte = CODEC_MSGPACK
+        body = msgpack.packb(tree, use_bin_type=True)
+    else:
+        raise FrameCodecError(f"unknown codec {codec!r}")
+    if len(body) > MAX_BODY_BYTES:
+        raise OversizedFrameError(
+            f"encoded body is {len(body)} bytes (max {MAX_BODY_BYTES})"
+        )
+    header = _HEADER.pack(MAGIC, codec_byte, sender & 0xFFFFFFFF, len(body))
+    tag = hmac.new(key, header + body, hashlib.sha256).digest()[:TAG_BYTES]
+    return header + body + tag
+
+
+def decode_frame(data: bytes, key: bytes) -> Frame:
+    """Decode and authenticate one frame (raises :class:`FrameError` variants)."""
+    if len(data) < MIN_FRAME_BYTES:
+        raise TruncatedFrameError(
+            f"frame is {len(data)} bytes, shorter than the {MIN_FRAME_BYTES}-byte minimum"
+        )
+    magic, codec_byte, sender, body_len = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise FrameCodecError(f"bad magic {magic!r}")
+    if body_len > MAX_BODY_BYTES:
+        raise OversizedFrameError(
+            f"declared body of {body_len} bytes exceeds the {MAX_BODY_BYTES} cap"
+        )
+    expected = HEADER_BYTES + body_len + TAG_BYTES
+    if len(data) < expected:
+        raise TruncatedFrameError(
+            f"frame is {len(data)} bytes but declares {expected}"
+        )
+    if len(data) > expected:
+        raise FrameCodecError(f"{len(data) - expected} trailing bytes after the tag")
+    body = data[HEADER_BYTES : HEADER_BYTES + body_len]
+    tag = data[HEADER_BYTES + body_len :]
+    good = hmac.new(key, data[:HEADER_BYTES] + body, hashlib.sha256).digest()[:TAG_BYTES]
+    if not hmac.compare_digest(tag, good):
+        raise FrameAuthError("authentication tag mismatch")
+    # One umbrella: *any* failure while interpreting an authenticated body
+    # (codec parse, envelope shape, payload tags, a malformed "t") must
+    # surface as FrameCodecError -- the transports catch FrameError only,
+    # and a leaked ValueError would abort an event-loop reader mid-batch.
+    try:
+        if codec_byte == CODEC_JSON:
+            tree = json.loads(body.decode())
+        elif codec_byte == CODEC_MSGPACK:
+            if not HAVE_MSGPACK:
+                raise FrameCodecError("msgpack frame received but msgpack is not installed")
+            tree = msgpack.unpackb(body, raw=False)
+        else:
+            raise FrameCodecError(f"unknown codec byte {codec_byte!r}")
+        if not isinstance(tree, dict) or "t" not in tree or "p" not in tree:
+            raise FrameCodecError("body is not a framed envelope")
+        sent_at = tree["t"]
+        if isinstance(sent_at, bool) or not isinstance(sent_at, (int, float)):
+            raise FrameCodecError(f"non-numeric sent_at {sent_at!r}")
+        payload = _from_wire(tree["p"])
+    except FrameError:
+        raise
+    except Exception as exc:
+        raise FrameCodecError(f"undecodable body: {exc}") from exc
+    return Frame(sender=sender, payload=payload, sent_at=float(sent_at))
+
+
+__all__ = [
+    "Frame",
+    "FrameAuthError",
+    "FrameCodecError",
+    "FrameError",
+    "HAVE_MSGPACK",
+    "HEADER_BYTES",
+    "MAGIC",
+    "MAX_BODY_BYTES",
+    "MIN_FRAME_BYTES",
+    "OversizedFrameError",
+    "TAG_BYTES",
+    "TruncatedFrameError",
+    "decode_frame",
+    "derive_key",
+    "encode_frame",
+]

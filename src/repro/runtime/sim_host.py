@@ -18,9 +18,9 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.net.network import Network
-from repro.runtime.api import Action, TimerRegistry
+from repro.runtime.api import INERT_TIMER, Action, TimerHandle, TimerRegistry
 from repro.sim.clock import ClockConfig, DriftClock
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import Simulator
 from repro.sim.rand import RandomSource
 from repro.sim.trace import Tracer
 
@@ -57,6 +57,7 @@ class SimHost:
         self.rand = rand if rand is not None else RandomSource(0, f"host/{node_id}")
         self.params = params
         self._registry = TimerRegistry()
+        self._closed = False
         # Hot-path binding: ``now`` is the single most-called host method
         # (every arrival and timer reads the clock), so it resolves straight
         # to the clock's inlined affine map.
@@ -85,8 +86,10 @@ class SimHost:
     # ------------------------------------------------------------------
     def schedule_after(
         self, delay_local: float, action: Action, tag: str = ""
-    ) -> EventHandle:
+    ) -> TimerHandle:
         """Schedule on the kernel, translating local delay through the clock."""
+        if self._closed:
+            return INERT_TIMER
         real_delay = self.clock.real_delay_for_local(delay_local)
         handle = self.sim.schedule_in(real_delay, action, tag=tag)
         self._registry.track(handle)
@@ -94,13 +97,24 @@ class SimHost:
 
     def schedule_at(
         self, when_local: float, action: Action, tag: str = ""
-    ) -> EventHandle:
+    ) -> TimerHandle:
         return self.schedule_after(max(0.0, when_local - self.now()), action, tag)
 
     def live_timer_count(self) -> int:
         return self._registry.live_count()
 
     def cancel_all_timers(self) -> None:
+        self._registry.cancel_all()
+
+    def close(self) -> None:
+        """Cancel every pending timer and refuse new ones (teardown).
+
+        Never called by scenario builders (the kernel simply stops running),
+        so golden-row runs are untouched; it exists so the sim backend obeys
+        the same close semantics the conformance contract demands of the
+        wall-clock backends.
+        """
+        self._closed = True
         self._registry.cancel_all()
 
     # ------------------------------------------------------------------

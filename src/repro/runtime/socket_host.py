@@ -1,0 +1,770 @@
+"""SocketHost: the real-socket backend of the sans-I/O host API.
+
+The third backend: the exact :class:`~repro.core.agreement.ProtocolNode`
+code the simulator drives, exchanging **real UDP datagrams** on localhost,
+with each node in its own OS process.  This is the closest the reproduction
+gets to a deployment: real bytes, real kernel socket buffers, real process
+scheduling -- and the same :class:`~repro.runtime.api.ProtocolHost` surface,
+so not a line of protocol code changes.
+
+Pieces
+------
+* :class:`SocketTransport` -- one non-blocking UDP socket per node, wired
+  into the asyncio loop via ``loop.add_reader``.  Every message is one
+  authenticated frame (:mod:`repro.runtime.framing`); malformed or
+  unauthenticated datagrams are counted and dropped, never delivered.  The
+  sim's :class:`~repro.net.delivery.DeliveryPolicy` objects are reused for
+  seeded per-copy delay/drop draws, *injected at the sender*: the policy is
+  consulted before the datagram leaves, a drop means it is never
+  transmitted, and a delay holds the ``sendto`` back on the sender's loop.
+* :class:`SocketHost` -- wall-clock timers scaled by ``time_scale``
+  (seconds per protocol unit), sharing one epoch across all nodes so
+  ``now()`` readings are mutually consistent.  A closed host refuses new
+  timers, so registries drain to zero at teardown.
+* :class:`SocketCluster` / :func:`run_agreement_socket` -- parent-side
+  orchestration: spawns one process per node (``multiprocessing`` spawn
+  context), collects each child's UDP port over its pipe, distributes the
+  address book + shared epoch + cluster frame key, streams decisions back
+  over the results pipes, and tears everything down with hard timeouts so
+  a hung child is killed, not waited on.
+
+Determinism caveat
+------------------
+Like the asyncio backend, runs are **not** replayable: the seeded draws
+(delays, Byzantine choices) are deterministic, but arrival interleaving is
+at the mercy of the kernel scheduler and the network stack.  Use the sim
+backend for replays.  Keep ``time_scale`` generous -- the default maps
+``d`` to 50 ms, leaving process-scheduling stalls well inside the protocol
+windows.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import multiprocessing.connection
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.agreement import Decision, ProtocolNode
+from repro.core.messages import Value
+from repro.core.params import ProtocolParams
+from repro.net.delivery import DeliveryPolicy, UniformDelay
+from repro.net.network import Envelope
+from repro.runtime.aio import AsyncioHost
+from repro.runtime.framing import (
+    FrameError,
+    decode_frame,
+    derive_key,
+    encode_frame,
+)
+from repro.sim.rand import RandomSource
+from repro.sim.trace import Tracer
+
+#: Default wall-clock seconds per protocol time unit (d = 50 ms): UDP and
+#: spawn-child scheduling latencies stay far below the protocol windows.
+DEFAULT_TIME_SCALE = 0.05
+
+#: Parent-side grace for spawning children and collecting their ports.
+STARTUP_TIMEOUT_S = 30.0
+
+
+class SocketTransport:
+    """One node's UDP endpoint: authenticated frames over real datagrams.
+
+    ``directory`` maps node ids to ``(host, port)`` addresses.  In-process
+    harnesses share one mutable dict (each transport registers itself on
+    construction); cluster children receive the full address book from the
+    parent.  The transport also owns the shared clock axis -- ``now()`` is
+    wall clock against ``epoch_wall``, scaled by ``time_scale`` -- so hosts
+    bind their clock straight to it, exactly like the asyncio backend.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        auth_key: bytes,
+        time_scale: float = DEFAULT_TIME_SCALE,
+        epoch_wall: Optional[float] = None,
+        directory: Optional[dict[int, tuple[str, int]]] = None,
+        sock: Optional[socket.socket] = None,
+        policy: Optional[DeliveryPolicy] = None,
+        rand: Optional[RandomSource] = None,
+        tracer: Optional[Tracer] = None,
+        codec: str = "json",
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {time_scale!r}")
+        self.node_id = node_id
+        self.auth_key = auth_key
+        self.time_scale = time_scale
+        self.codec = codec
+        self.loop = asyncio.get_running_loop()
+        if sock is None:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            sock.bind(("127.0.0.1", 0))
+        sock.setblocking(False)
+        self.sock = sock
+        self.address: tuple[str, int] = sock.getsockname()
+        self.directory = directory if directory is not None else {}
+        self.directory[node_id] = self.address
+        # Local wall epoch -> per-process monotonic epoch: readings stay
+        # monotone within the process while remaining (roughly, to process
+        # scheduling) consistent across every process sharing the epoch.
+        if epoch_wall is None:
+            epoch_wall = time.time()
+        self.epoch_wall = epoch_wall
+        self._epoch_mono = time.monotonic() - (time.time() - epoch_wall)
+        self._policy = policy
+        self._rand = rand if rand is not None else RandomSource(0, f"socket/net/{node_id}")
+        self._tracer = tracer
+        self._receiver: Optional[Callable[[Envelope], None]] = None
+        self._pending_sends: list[asyncio.TimerHandle] = []
+        self._closed = False
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+        #: Datagrams refused at the receiver: truncated, oversized, garbage,
+        #: or failing authentication.  Never delivered, always counted.
+        self.rejected_count = 0
+        self.loop.add_reader(self.sock.fileno(), self._on_readable)
+
+    # ------------------------------------------------------------------
+    # Time (shared axis for every transport on this epoch)
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Current protocol-local time (wall seconds since epoch / scale)."""
+        return (time.monotonic() - self._epoch_mono) / self.time_scale
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def register(self, node_id: int, receiver: Callable[[Envelope], None]) -> None:
+        """Attach the local node's message handler (one node per socket)."""
+        if node_id != self.node_id:
+            raise ValueError(
+                f"transport for node {self.node_id} cannot register node {node_id}"
+            )
+        if self._receiver is not None:
+            raise ValueError(f"node {node_id} already registered")
+        self._receiver = receiver
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self.directory)
+
+    # ------------------------------------------------------------------
+    # Sending (policy consulted at the sender, before any byte moves)
+    # ------------------------------------------------------------------
+    def send(self, sender: int, receiver: int, payload: object) -> None:
+        if self._closed:
+            return
+        if receiver not in self.directory:
+            raise ValueError(f"unknown receiver {receiver}")
+        self._send_copy(sender, receiver, payload, self._encode(sender, payload))
+
+    def broadcast(self, sender: int, payload: object) -> None:
+        """n point-to-point datagrams, one per known node (self included).
+
+        The frame is encoded and HMAC'd **once** for the whole wave (one
+        ``sent_at`` stamp, matching the sim network's single timestamp per
+        broadcast); only the per-copy policy draw and transmit differ.
+        """
+        if self._closed:
+            return
+        frame = self._encode(sender, payload)
+        for receiver in self.node_ids:
+            self._send_copy(sender, receiver, payload, frame)
+
+    def _encode(self, sender: int, payload: object) -> bytes:
+        return encode_frame(
+            sender, payload, self.auth_key, sent_at=self.now(), codec=self.codec
+        )
+
+    def _send_copy(
+        self, sender: int, receiver: int, payload: object, frame: bytes
+    ) -> None:
+        self.sent_count += 1
+        tracer = self._tracer
+        if tracer is not None:
+            if tracer.enabled:
+                tracer.record(
+                    self.now(), sender, "send", receiver=receiver, payload=payload
+                )
+            else:
+                tracer.bump("send")
+        delay_units = 0.0
+        if self._policy is not None:
+            decision = self._policy.decide(sender, receiver, payload, self._rand)
+            if decision.drop:
+                self.dropped_count += 1
+                return
+            delay_units = decision.delay
+        if delay_units <= 0.0:
+            self._transmit(receiver, frame)
+        else:
+            handle = self.loop.call_later(
+                delay_units * self.time_scale, self._transmit, receiver, frame
+            )
+            self._pending_sends.append(handle)
+            if len(self._pending_sends) > 256:
+                # Compact out handles whose deadline has passed (they have
+                # fired); only genuinely pending held-back sends survive to
+                # be cancelled by close().
+                now_loop = self.loop.time()
+                self._pending_sends = [
+                    h for h in self._pending_sends if h.when() > now_loop
+                ]
+
+    def _transmit(self, receiver: int, frame: bytes) -> None:
+        if self._closed:
+            return
+        try:
+            self.sock.sendto(frame, self.directory[receiver])
+        except OSError:
+            # Localhost UDP can still fail transiently (full socket buffer);
+            # the model permits loss only through the policy, but a lost
+            # datagram is indistinguishable from a drop to the receiver, and
+            # the resend logic covers it.  Count it as a drop.
+            self.dropped_count += 1
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _on_readable(self) -> None:
+        while True:
+            try:
+                data, _addr = self.sock.recvfrom(65536)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            self._handle_datagram(data)
+
+    def _handle_datagram(self, data: bytes) -> None:
+        try:
+            frame = decode_frame(data, self.auth_key)
+        except FrameError:
+            self.rejected_count += 1
+            if self._tracer is not None:
+                self._tracer.bump("frame_rejected")
+            return
+        receiver = self._receiver
+        if receiver is None:
+            self.rejected_count += 1
+            return
+        self.delivered_count += 1
+        now = self.now()
+        envelope = Envelope(
+            sender=frame.sender,
+            receiver=self.node_id,
+            payload=frame.payload,
+            sent_at=frame.sent_at,
+            delivered_at=now,
+        )
+        tracer = self._tracer
+        if tracer is not None:
+            if tracer.enabled:
+                tracer.record(
+                    now,
+                    self.node_id,
+                    "deliver",
+                    sender=frame.sender,
+                    payload=frame.payload,
+                )
+            else:
+                tracer.bump("deliver")
+        receiver(envelope)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Cancel held-back sends, detach the reader, close the socket."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._pending_sends:
+            handle.cancel()
+        self._pending_sends.clear()
+        try:
+            self.loop.remove_reader(self.sock.fileno())
+        except (ValueError, OSError):
+            pass
+        self.sock.close()
+
+
+class SocketHost(AsyncioHost):
+    """One node's :class:`~repro.runtime.api.ProtocolHost` over UDP sockets.
+
+    Everything host-side is shared with :class:`~repro.runtime.aio.
+    AsyncioHost` -- wall-clock timers through ``loop.call_later`` scaled by
+    the transport's ``time_scale``, the timer registry, refusal of new
+    timers once closed -- because a host only ever touches its transport's
+    ``loop`` / ``time_scale`` / ``now`` / ``register`` / ``send`` /
+    ``broadcast`` surface, which :class:`SocketTransport` provides.  Only
+    the default randomness stream name differs (backend-tagged so draws
+    never collide across backends at the same seed).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        transport: SocketTransport,
+        params: Optional[ProtocolParams] = None,
+        rand: Optional[RandomSource] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if rand is None:
+            rand = RandomSource(0, f"socket/host/{node_id}")
+        super().__init__(node_id, transport, params=params, rand=rand, tracer=tracer)
+
+
+# ---------------------------------------------------------------------------
+# Child-process side
+# ---------------------------------------------------------------------------
+def _default_policy(params: ProtocolParams) -> DeliveryPolicy:
+    # Leave headroom under delta: the kernel and scheduler add their own
+    # latency on top of the drawn delay, and the total must stay below d.
+    return UniformDelay(0.05 * params.delta, 0.5 * params.delta)
+
+
+async def _child_run(
+    cfg: dict, conn, sock: socket.socket, peers: dict, epoch_wall: float, key: bytes
+) -> None:
+    params = ProtocolParams(
+        n=cfg["n"], f=cfg["f"], delta=cfg["delta"], rho=cfg["rho"]
+    )
+    node_id = cfg["node_id"]
+    root = RandomSource(cfg["seed"])
+    tracer = Tracer(enabled=cfg["trace"])
+    transport = SocketTransport(
+        node_id,
+        auth_key=key,
+        time_scale=cfg["time_scale"],
+        epoch_wall=epoch_wall,
+        directory=dict(peers),
+        sock=sock,
+        policy=cfg["policy"] if cfg["policy"] is not None else _default_policy(params),
+        rand=root.split(f"net/{node_id}"),
+        tracer=tracer,
+    )
+    host = SocketHost(
+        node_id,
+        transport,
+        params=params,
+        rand=root.split(f"host/{node_id}"),
+        tracer=tracer,
+    )
+    decisions: list[Decision] = []
+
+    def on_decision(decision: Decision) -> None:
+        decisions.append(decision)
+        try:
+            conn.send(("decision", node_id, decision))
+        except (BrokenPipeError, OSError):
+            pass
+
+    strategy = cfg["strategy"]
+    if strategy is None:
+        node = ProtocolNode(node_id, host, params, on_decision=on_decision)
+    else:
+        from repro.faults.byzantine import ByzantineNode
+
+        if not hasattr(strategy, "install"):
+            strategy = strategy(root.split(f"byz/{node_id}"))
+        node = ByzantineNode(node_id, host, params, strategy)
+
+    # The epoch sits slightly in the future, so every child is armed before
+    # local time 0; the General proposes right at the epoch.
+    if cfg["value"] is not None and node_id == cfg["general"] and cfg["strategy"] is None:
+        host.schedule_after(max(0.0, -host.now()), lambda: node.propose(cfg["value"]))
+
+    deadline_units = cfg["timeout_units"]
+    stop = False
+    while not stop:
+        if host.now() >= deadline_units:
+            break
+        try:
+            while conn.poll():
+                msg = conn.recv()
+                if msg[0] == "stop":
+                    stop = True
+        except (EOFError, OSError):
+            stop = True
+        if not stop:
+            await asyncio.sleep(0.02)
+
+    # Snapshot *before* close(): what teardown had to reap.  A running node
+    # legitimately holds its perpetual cleanup tick plus timers for
+    # still-decaying instance state, so nonzero is normal here -- it is
+    # reported for observability, not gated on.  ``live_timers`` is read
+    # *after* close() and must be zero: it proves close() drains the
+    # registry and nothing can re-arm past it.
+    timers_at_close = host.live_timer_count()
+    host.close()
+    transport.close()
+    result = (
+        (
+            "result",
+            node_id,
+            {
+                "sent": transport.sent_count,
+                "delivered": transport.delivered_count,
+                "dropped": transport.dropped_count,
+                "rejected": transport.rejected_count,
+                "live_timers": host.live_timer_count(),
+                "timers_at_close": timers_at_close,
+                "decisions": decisions,
+                "trace_events": [
+                    (ev.real_time, ev.node, ev.kind, dict(ev.detail), ev.local_time)
+                    for ev in tracer.events
+                ],
+                "trace_counts": tracer.counts(),
+            },
+        )
+    )
+    try:
+        conn.send(result)
+    except (BrokenPipeError, OSError):
+        # The parent gave up waiting and closed its end; the run is already
+        # torn down cleanly, so exit 0 rather than dressing a slow finish
+        # up as a crash.
+        pass
+
+
+def _socket_node_main(cfg: dict, conn) -> None:
+    """Child-process entry point (module-level so spawn can import it)."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        sock.bind(("127.0.0.1", 0))
+        conn.send(("port", cfg["node_id"], sock.getsockname()[1]))
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # parent died during setup
+            return
+        if msg[0] != "start":  # parent aborted setup
+            return
+        _tag, peers, epoch_wall, key = msg
+        asyncio.run(_child_run(cfg, conn, sock, peers, epoch_wall, key))
+    finally:
+        sock.close()
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent-side orchestration
+# ---------------------------------------------------------------------------
+@dataclass
+class SocketRunReport:
+    """Everything the parent collected from one socket-cluster run."""
+
+    correct_ids: list[int]
+    byzantine_ids: list[int]
+    decisions: dict[int, Decision] = field(default_factory=dict)
+    sent_count: int = 0
+    delivered_count: int = 0
+    dropped_count: int = 0
+    rejected_count: int = 0
+    #: Registry population *after* each child's close(): must be 0 (close
+    #: drains and refuses re-arming).
+    live_timers: dict[int, int] = field(default_factory=dict)
+    #: Registry population just *before* close(): what teardown reaped.  A
+    #: running node holds its cleanup tick + decaying instance timers, so
+    #: nonzero is normal; reported for observability, not gated.
+    timers_at_close: dict[int, int] = field(default_factory=dict)
+    exit_codes: dict[int, Optional[int]] = field(default_factory=dict)
+    tracer: Optional[Tracer] = None
+
+    @property
+    def clean_exit(self) -> bool:
+        """True iff every child exited 0 with a drained timer registry."""
+        return all(code == 0 for code in self.exit_codes.values()) and all(
+            count == 0 for count in self.live_timers.values()
+        )
+
+
+class SocketCluster:
+    """An n-node cluster of OS processes exchanging UDP datagrams.
+
+    The parent never runs protocol code: it spawns the children, brokers
+    the address book, streams decisions off the results pipes, and owns
+    teardown (cooperative stop first, then terminate, then kill) so no
+    child can outlive a run.
+    """
+
+    def __init__(
+        self,
+        params: ProtocolParams,
+        seed: int = 0,
+        time_scale: float = DEFAULT_TIME_SCALE,
+        byzantine: Optional[dict] = None,
+        policy: Optional[DeliveryPolicy] = None,
+        trace: bool = False,
+        value: Optional[Value] = None,
+        general: int = 0,
+        timeout_units: Optional[float] = None,
+        startup_grace_s: float = 0.35,
+    ) -> None:
+        byzantine = byzantine or {}
+        if len(byzantine) > params.f:
+            raise ValueError(f"{len(byzantine)} Byzantine nodes exceeds f={params.f}")
+        self.params = params
+        self.seed = seed
+        self.time_scale = time_scale
+        self.general = general
+        self.value = value
+        self.trace = trace
+        self.timeout_units = (
+            timeout_units if timeout_units is not None else 3.0 * params.delta_agr
+        )
+        self.correct_ids = [i for i in range(params.n) if i not in byzantine]
+        self.byzantine_ids = sorted(byzantine)
+        self._auth_key = derive_key(f"socket-cluster/{seed}")
+        ctx = multiprocessing.get_context("spawn")
+        self.procs: dict[int, multiprocessing.Process] = {}
+        self.conns: dict[int, Any] = {}
+        for node_id in range(params.n):
+            parent_conn, child_conn = ctx.Pipe()
+            cfg = {
+                "node_id": node_id,
+                "n": params.n,
+                "f": params.f,
+                "delta": params.delta,
+                "rho": params.rho,
+                "seed": seed,
+                "time_scale": time_scale,
+                "trace": trace,
+                "policy": policy,
+                "strategy": byzantine.get(node_id),
+                "value": value,
+                "general": general,
+                "timeout_units": self.timeout_units,
+            }
+            proc = ctx.Process(
+                target=_socket_node_main,
+                args=(cfg, child_conn),
+                daemon=True,
+                name=f"repro-socket-node-{node_id}",
+            )
+            proc.start()
+            child_conn.close()
+            self.procs[node_id] = proc
+            self.conns[node_id] = parent_conn
+        self._closed = False
+        self._started = False
+        self._startup_grace_s = startup_grace_s
+
+    # ------------------------------------------------------------------
+    # Setup barrier: collect ports, distribute the address book
+    # ------------------------------------------------------------------
+    def _start_children(self) -> None:
+        deadline = time.monotonic() + STARTUP_TIMEOUT_S
+        peers: dict[int, tuple[str, int]] = {}
+        for node_id, conn in self.conns.items():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not conn.poll(remaining):
+                raise TimeoutError(f"node {node_id} never reported its UDP port")
+            tag, reported_id, port = conn.recv()
+            if tag != "port" or reported_id != node_id:
+                raise RuntimeError(f"unexpected setup message from node {node_id}")
+            peers[node_id] = ("127.0.0.1", port)
+        epoch_wall = time.time() + self._startup_grace_s
+        for conn in self.conns.values():
+            conn.send(("start", peers, epoch_wall, self._auth_key))
+        self._started = True
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run_agreement(self) -> SocketRunReport:
+        """Run one agreement to completion and tear the cluster down.
+
+        Returns the consolidated report; ``report.decisions`` holds the
+        latest decision per correct node for the configured General.
+        """
+        if not self._started:
+            self._start_children()
+        report = SocketRunReport(
+            correct_ids=list(self.correct_ids),
+            byzantine_ids=list(self.byzantine_ids),
+        )
+        wall_deadline = (
+            time.monotonic()
+            + self._startup_grace_s
+            + self.timeout_units * self.time_scale
+            + 5.0
+        )
+        pending = dict(self.conns)
+        results: dict[int, dict] = {}
+        stopped = False
+        while pending and time.monotonic() < wall_deadline:
+            if not stopped and all(
+                node_id in report.decisions for node_id in self.correct_ids
+            ):
+                self._send_stop()
+                stopped = True
+            ready = multiprocessing.connection.wait(
+                list(pending.values()), timeout=0.05
+            )
+            for conn in ready:
+                node_id = next(i for i, c in pending.items() if c is conn)
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    del pending[node_id]
+                    continue
+                if msg[0] == "decision":
+                    _tag, sender_id, decision = msg
+                    if decision.general == self.general and sender_id in self.correct_ids:
+                        held = report.decisions.get(sender_id)
+                        if held is None or decision.returned_real > held.returned_real:
+                            report.decisions[sender_id] = decision
+                elif msg[0] == "result":
+                    _tag, sender_id, payload = msg
+                    results[sender_id] = payload
+                    del pending[node_id]
+        if not stopped:
+            self._send_stop()
+        # Late results from children that were still tearing down.
+        late_deadline = time.monotonic() + 5.0
+        while pending and time.monotonic() < late_deadline:
+            ready = multiprocessing.connection.wait(
+                list(pending.values()), timeout=0.1
+            )
+            for conn in ready:
+                node_id = next(i for i, c in pending.items() if c is conn)
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    del pending[node_id]
+                    continue
+                if msg[0] == "result":
+                    results[node_id] = msg[2]
+                    del pending[node_id]
+        self._collect(report, results)
+        return report
+
+    def _send_stop(self) -> None:
+        for conn in self.conns.values():
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+
+    def _collect(self, report: SocketRunReport, results: dict[int, dict]) -> None:
+        tracer = Tracer(enabled=self.trace)
+        merged_events = []
+        for node_id, payload in results.items():
+            report.sent_count += payload["sent"]
+            report.delivered_count += payload["delivered"]
+            report.dropped_count += payload["dropped"]
+            report.rejected_count += payload["rejected"]
+            report.live_timers[node_id] = payload["live_timers"]
+            report.timers_at_close[node_id] = payload["timers_at_close"]
+            for decision in payload["decisions"]:
+                if decision.general != self.general or node_id not in self.correct_ids:
+                    continue
+                held = report.decisions.get(node_id)
+                if held is None or decision.returned_real > held.returned_real:
+                    report.decisions[node_id] = decision
+            merged_events.extend(payload["trace_events"])
+            for kind, count in payload["trace_counts"].items():
+                tracer.bump_many(kind, count)
+        if self.trace:
+            from repro.sim.trace import TraceEvent
+
+            merged_events.sort(key=lambda ev: ev[0])
+            tracer._events.extend(
+                TraceEvent(rt, node, kind, detail, lt)
+                for rt, node, kind, detail, lt in merged_events
+            )
+        report.tracer = tracer
+        self.close()
+        for node_id, proc in self.procs.items():
+            report.exit_codes[node_id] = proc.exitcode
+        missing = [i for i in self.procs if i not in results]
+        for node_id in missing:
+            report.live_timers.setdefault(node_id, -1)
+
+    # ------------------------------------------------------------------
+    # Teardown: no child outlives the cluster
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Join every child; escalate to terminate, then kill.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._send_stop()
+        for proc in self.procs.values():
+            proc.join(timeout=5.0)
+        for proc in self.procs.values():
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for proc in self.procs.values():
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=2.0)
+        for conn in self.conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def __del__(self) -> None:  # last-resort orphan guard
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def run_agreement_socket(
+    n: int = 4,
+    f: int = 1,
+    seed: int = 0,
+    value: Value = "v",
+    general: int = 0,
+    byzantine: Optional[dict] = None,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    delta: float = 1.0,
+    rho: float = 0.0,
+    trace: bool = False,
+    timeout_units: Optional[float] = None,
+    policy: Optional[DeliveryPolicy] = None,
+) -> tuple[SocketRunReport, dict[int, Decision]]:
+    """Spawn a socket cluster, run one agreement, tear every process down.
+
+    Returns ``(report, latest decision per correct node)`` -- the same shape
+    as :func:`repro.runtime.aio.run_agreement_async`, with the report
+    standing in for the in-process cluster object.
+    """
+    params = ProtocolParams(n=n, f=f, delta=delta, rho=rho)
+    cluster = SocketCluster(
+        params,
+        seed=seed,
+        time_scale=time_scale,
+        byzantine=byzantine,
+        policy=policy,
+        trace=trace,
+        value=value,
+        general=general,
+        timeout_units=timeout_units,
+    )
+    try:
+        report = cluster.run_agreement()
+    finally:
+        cluster.close()
+    return report, dict(report.decisions)
+
+
+__all__ = [
+    "DEFAULT_TIME_SCALE",
+    "SocketCluster",
+    "SocketHost",
+    "SocketRunReport",
+    "SocketTransport",
+    "run_agreement_socket",
+]

@@ -57,6 +57,22 @@ class TestRunAsync:
         assert "decided:   4/4 nodes" in out
 
 
+class TestRunSocket:
+    def test_reaches_agreement_with_byzantine_mirror(self, capsys):
+        """One full CLI run over real UDP: agreement, drained timers,
+        every child exited 0 (the no-orphans gate)."""
+        assert main(["run-socket", "--n", "4", "--f", "1", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "byzantine node 3: mirror" in out
+        assert "live timers: all drained" in out
+        assert "children:    all exited 0" in out
+        assert "agreement: True" in out
+        assert "decided:   3/3 nodes" in out
+
+    def test_general_out_of_range_exits_2(self, capsys):
+        assert main(["run-socket", "--n", "4", "--f", "1", "--general", "9"]) == 2
+
+
 class TestStabilize:
     def test_recovers(self, capsys):
         assert main(["stabilize", "--n", "7", "--seed", "5", "--garbage", "150"]) == 0

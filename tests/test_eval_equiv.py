@@ -25,7 +25,11 @@ import random
 import pytest
 
 from repro.core.agreement import SdrPrefixCache, distinct_chain_exists
-from repro.core.eval_ref import ReferenceInitiatorAccept, ReferenceMsgdBroadcast
+from repro.core.eval_ref import (
+    ReferenceInitiatorAccept,
+    ReferenceMsgdBroadcast,
+    eager_fresh_senders,
+)
 from repro.core.initiator_accept import InitiatorAccept
 from repro.core.messages import (
     ApproveMsg,
@@ -38,6 +42,7 @@ from repro.core.messages import (
 )
 from repro.core.msgd_broadcast import MsgdBroadcast
 from repro.core.params import ProtocolParams
+from repro.node.msglog import MessageLog
 from repro.sim.rand import RandomSource
 
 G = 0
@@ -45,6 +50,8 @@ VALUES = ["A", "B"]
 MB_SCHEDULES = 12
 IA_SCHEDULES = 10
 OPS_PER_SCHEDULE = 1200
+WATCH_SCHEDULES = 50
+WATCH_OPS = 350
 
 
 class _ManualTimer:
@@ -284,7 +291,113 @@ def test_sdr_prefix_cache_differential(seed: int) -> None:
             )
 
 
+WATCH_KEYS = [
+    ("mb_echo", G, "A", 1),
+    ("mb_echo", G, "B", 1),
+    ("support", G, "A"),
+    ("ready", 1, "B"),
+]
+
+
+@pytest.mark.parametrize("seed", range(WATCH_SCHEDULES))
+def test_watch_vs_eager_oracle_differential(seed: int) -> None:
+    """``MessageLog.watch`` == the eager rescan oracle, op for op.
+
+    Drives the subscription counters through long interleavings of in-order
+    arrivals, arbitrarily-stamped corruption (past *and* future stamps),
+    age/future prunes, resets (clears, key removals, predicate removals)
+    and watch churn (spawn/cancel mid-schedule), checking ``count``/``has``
+    against :func:`repro.core.eval_ref.eager_fresh_senders` after every
+    single operation.  Nothing here knows how the watch is implemented --
+    staleness, maturation heaps and rebuilds must all be invisible.
+    """
+    rng = random.Random(5000 + seed)
+    log = MessageLog()
+    now = 0.0
+    fired: list[tuple] = []
+    watches: list[tuple[object, float, object]] = []
+
+    def on_event(watch) -> None:
+        # A firing is only legal at a threshold crossing or a sentinel
+        # maturation, and never for a cancelled watch (the dispatch
+        # conditions the push evaluators lean on).
+        assert not watch.cancelled, "event fired for a cancelled watch"
+        count = len(watch._matured)
+        assert count in watch.thresholds or (
+            watch.sentinel is not None and watch.sentinel in watch._matured
+        ), f"event fired at count {count} with no threshold/sentinel cause"
+        fired.append((watch.key, watch.start, count))
+
+    def spawn_watch() -> None:
+        key = rng.choice(WATCH_KEYS)
+        start = max(0.0, now - rng.uniform(0.0, 6.0))
+        thresholds = rng.sample(range(1, 8), k=rng.randint(0, 2))
+        sentinel = rng.randint(0, 9) if rng.random() < 0.5 else None
+        watch = log.watch(
+            key,
+            start,
+            thresholds=thresholds,
+            sentinel=sentinel,
+            on_event=on_event,
+        )
+        watches.append((key, start, watch))
+
+    for _ in range(3):
+        spawn_watch()
+
+    for step in range(WATCH_OPS):
+        roll = rng.random()
+        if roll < 0.45:
+            now += rng.choice([0.0, 0.0, 0.05, 0.4, 1.5])
+            log.add(rng.choice(WATCH_KEYS), rng.randint(0, 9), now)
+        elif roll < 0.60:
+            # Transient corruption: stamps say nothing about the clock.
+            log.corrupt_insert(
+                rng.choice(WATCH_KEYS),
+                rng.randint(0, 9),
+                max(0.0, now + rng.uniform(-4.0, 6.0)),
+            )
+        elif roll < 0.70:
+            if rng.random() < 0.5:
+                log.prune_older_than(now - rng.uniform(0.0, 3.0))
+            else:
+                log.prune_future(now)
+        elif roll < 0.78:
+            flavor = rng.random()
+            if flavor < 0.4:
+                log.clear()
+            elif flavor < 0.8:
+                log.remove_keys([rng.choice(WATCH_KEYS)])
+            else:
+                doomed = rng.choice(WATCH_KEYS)
+                log.remove_matching(lambda key: key == doomed)
+        elif roll < 0.86:
+            spawn_watch()
+        elif roll < 0.92 and watches:
+            index = rng.randrange(len(watches))
+            watches[index][2].cancel()
+            del watches[index]
+        else:
+            now += rng.uniform(0.0, 2.0)
+
+        for key, start, watch in watches:
+            expected = eager_fresh_senders(log, key, start, now)
+            assert watch.count(now) == len(expected), (
+                f"seed {seed} step {step}: count diverged for {key} @ {start}"
+            )
+            for sender in (0, 3, 7):
+                assert watch.has(sender, now) == (sender in expected), (
+                    f"seed {seed} step {step}: has({sender}) diverged"
+                )
+
+    for _key, _start, watch in watches:
+        watch.cancel()
+    assert not log._watches, "cancel must fully drain the registry"
+
+
 def test_schedule_volume_meets_acceptance_bar() -> None:
-    """>= 20 schedules x >= 1000 operations (the documented gate)."""
+    """>= 20 schedules x >= 1000 operations (the documented gate),
+    plus >= 50 watch-fuzz schedules (this PR's differential bar)."""
     assert MB_SCHEDULES + IA_SCHEDULES >= 20
     assert OPS_PER_SCHEDULE >= 1000
+    assert WATCH_SCHEDULES >= 50

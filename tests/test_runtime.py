@@ -1,22 +1,26 @@
-"""Host-conformance suite: SimHost and AsyncioHost against one contract.
+"""Host-conformance suite: Sim, Asyncio and Socket hosts against one contract.
 
 The sans-I/O refactor is only worth anything if every backend honours the
 same :class:`~repro.runtime.api.ProtocolHost` semantics, so the contract is
 written once as backend-agnostic coroutines -- monotonic ``now()``, timers
 firing in deadline order (FIFO at equal deadlines), cancelation never
-firing, ``live_timer_count()`` draining to zero, authenticated transport,
-per-node randomness, trace attribution -- and executed against both
-backends.  A third backend earns its keep by passing this file.
+firing and staying idempotent, refusal of timers after ``close()``,
+``live_timer_count()`` draining to zero, authenticated transport, exactly
+one broadcast copy per node (the sender included), per-node randomness,
+trace attribution (also under interleaved sends) -- and executed against
+all three backends.  A new backend earns its keep by passing this file.
 
-The asyncio half necessarily runs against the wall clock: delays are kept
-tiny and assertions are about *ordering and counting*, never exact timing.
-Plus an end-to-end smoke: a 4-node, f = 1 agreement over real coroutines
-with a Byzantine sender in the cast.
+The asyncio and socket halves necessarily run against the wall clock:
+delays are kept tiny and assertions are about *ordering and counting*,
+never exact timing.  Plus end-to-end smokes: a 4-node, f = 1 agreement
+over real coroutines, and the same over real UDP datagrams with one OS
+process per node, each with a Byzantine sender in the cast.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 
 import pytest
 
@@ -25,7 +29,9 @@ from repro.faults.byzantine import MirrorParticipantStrategy, TwoFacedParticipan
 from repro.net.delivery import FixedDelay
 from repro.net.network import Network
 from repro.runtime.aio import AsyncioCluster, AsyncioHost, AsyncioTransport, run_agreement_async
+from repro.runtime.framing import derive_key
 from repro.runtime.sim_host import SimHost
+from repro.runtime.socket_host import SocketHost, SocketTransport, run_agreement_socket
 from repro.sim.engine import Simulator
 from repro.sim.rand import RandomSource
 from repro.sim.trace import Tracer
@@ -45,9 +51,10 @@ class SimHarness:
         self.sim = Simulator()
         self.tracer = Tracer(enabled=True)
         self.net = Network(self.sim, FixedDelay(0.25), RandomSource(11), self.tracer)
+        self.hosts: list[SimHost] = []
 
     def make_host(self, node_id: int) -> SimHost:
-        return SimHost(
+        host = SimHost(
             node_id,
             self.sim,
             self.net,
@@ -55,12 +62,15 @@ class SimHarness:
             rand=RandomSource(11, f"host/{node_id}"),
             params=PARAMS,
         )
+        self.hosts.append(host)
+        return host
 
     async def drive(self, duration_units: float) -> None:
         self.sim.run_until(self.sim.now + duration_units)
 
     def close(self) -> None:
-        pass
+        for host in self.hosts:
+            host.close()
 
 
 class AioHarness:
@@ -98,6 +108,60 @@ class AioHarness:
     def close(self) -> None:
         for host in self.hosts:
             host.close()
+
+
+class SocketHarness:
+    """Socket backend: real UDP datagrams between in-process hosts.
+
+    The conformance half runs every host on one loop (the multiprocessing
+    orchestration is exercised by the end-to-end smokes below); the bytes
+    still cross the kernel's UDP stack, so framing, authentication and the
+    reader wiring are all on the hook.
+    """
+
+    name = "socket"
+    TIME_SCALE = 0.005  # 5 ms per protocol unit: UDP latency stays far below
+
+    def __init__(self) -> None:
+        self.tracer = Tracer(enabled=True)
+        self.directory: dict[int, tuple[str, int]] = {}
+        self.auth_key = derive_key("conformance")
+        self.epoch = time.time()
+        self.transports: list[SocketTransport] = []
+        self.hosts: list[SocketHost] = []
+
+    def make_host(self, node_id: int) -> SocketHost:
+        transport = SocketTransport(
+            node_id,
+            auth_key=self.auth_key,
+            time_scale=self.TIME_SCALE,
+            epoch_wall=self.epoch,
+            directory=self.directory,
+            policy=FixedDelay(0.25),
+            rand=RandomSource(11, f"net/{node_id}"),
+            tracer=self.tracer,
+        )
+        host = SocketHost(
+            node_id,
+            transport,
+            params=PARAMS,
+            rand=RandomSource(11, f"host/{node_id}"),
+            tracer=self.tracer,
+        )
+        self.transports.append(transport)
+        self.hosts.append(host)
+        return host
+
+    async def drive(self, duration_units: float) -> None:
+        # Datagram transit adds (sub-ms) latency on top of call_later
+        # granularity; 1.5 units of slack keeps a loaded machine honest.
+        await asyncio.sleep((duration_units + 1.5) * self.TIME_SCALE)
+
+    def close(self) -> None:
+        for host in self.hosts:
+            host.close()
+        for transport in self.transports:
+            transport.close()
 
 
 # ---------------------------------------------------------------------------
@@ -210,6 +274,89 @@ async def contract_trace_attributes_node_and_local_time(h) -> None:
     assert events[0].local_time is not None
 
 
+async def contract_schedule_after_close_is_refused(h) -> None:
+    host = h.make_host(0)
+    fired: list[str] = []
+    host.schedule_after(1.0, lambda: fired.append("pre"))
+    host.close()
+    refused = host.schedule_after(0.5, lambda: fired.append("post"))
+    assert not refused.alive, "a closed host must hand back a dead handle"
+    refused.cancel()  # harmless on a never-armed handle
+    at = host.schedule_at(host.now() + 0.5, lambda: fired.append("post_at"))
+    assert not at.alive
+    assert host.live_timer_count() == 0, "close() must leave the registry drained"
+    await h.drive(3.0)
+    assert fired == [], "nothing may fire after close()"
+
+
+async def contract_cancel_is_idempotent(h) -> None:
+    host = h.make_host(0)
+    fired: list[str] = []
+    doomed = host.schedule_after(1.0, lambda: fired.append("doomed"))
+    kept = host.schedule_after(1.0, lambda: fired.append("kept"))
+    doomed.cancel()
+    assert not doomed.alive
+    doomed.cancel()  # second cancel: no error, no state change
+    assert not doomed.alive
+    assert host.live_timer_count() == 1
+    await h.drive(3.0)
+    assert fired == ["kept"]
+    assert not kept.alive  # consumed by firing
+    kept.cancel()  # cancel after fire: a no-op, not an error
+    kept.cancel()
+    assert not kept.alive
+    assert host.live_timer_count() == 0
+
+
+async def contract_broadcast_one_copy_per_node_exactly(h) -> None:
+    """Interleaved broadcasts each land exactly once everywhere.
+
+    Guards the include-self-exactly-once semantics: a transport must not
+    deliver a duplicate self-copy (e.g. a local shortcut on top of the
+    loopback datagram) and must not skip the sender either.
+    """
+    hosts = [h.make_host(i) for i in range(3)]
+    inboxes: list[list] = [[] for _ in hosts]
+    for host, inbox in zip(hosts, inboxes):
+        host.attach(inbox.append)
+    hosts[0].broadcast("a0")
+    hosts[1].broadcast("b0")
+    hosts[0].broadcast("a1")
+    await h.drive(2.0)
+    expected = [(0, "a0"), (0, "a1"), (1, "b0")]
+    for node_id, inbox in enumerate(inboxes):
+        copies = sorted((e.sender, e.payload) for e in inbox)
+        assert copies == expected, f"node {node_id} saw {copies}"
+
+
+async def contract_trace_attribution_survives_interleaved_sends(h) -> None:
+    host_a, host_b = h.make_host(0), h.make_host(1)
+    host_a.attach(lambda e: None)
+    host_b.attach(lambda e: None)
+    host_a.send(1, "x1")
+    host_b.send(0, "y1")
+    host_a.trace("probe", mark="a")
+    host_a.send(1, "x2")
+    host_b.trace("probe", mark="b")
+    await h.drive(2.0)
+    sends = [ev for ev in h.tracer.events if ev.kind == "send"]
+    assert [(ev.node, ev.detail["payload"]) for ev in sends] == [
+        (0, "x1"),
+        (1, "y1"),
+        (0, "x2"),
+    ], "send events must be attributed to the true sender, in send order"
+    probes = [ev for ev in h.tracer.events if ev.kind == "probe"]
+    assert [(ev.node, ev.detail["mark"]) for ev in probes] == [(0, "a"), (1, "b")]
+    delivers = {
+        (ev.node, ev.detail["payload"])
+        for ev in h.tracer.events
+        if ev.kind == "deliver"
+    }
+    assert delivers == {(1, "x1"), (1, "x2"), (0, "y1")}, (
+        "deliver events must be attributed to the receiving node"
+    )
+
+
 CONTRACTS = [
     contract_monotonic_now,
     contract_timers_fire_in_deadline_order,
@@ -221,6 +368,10 @@ CONTRACTS = [
     contract_broadcast_reaches_all_including_self,
     contract_rand_is_per_node_deterministic,
     contract_trace_attributes_node_and_local_time,
+    contract_schedule_after_close_is_refused,
+    contract_cancel_is_idempotent,
+    contract_broadcast_one_copy_per_node_exactly,
+    contract_trace_attribution_survives_interleaved_sends,
 ]
 CONTRACT_IDS = [fn.__name__.removeprefix("contract_") for fn in CONTRACTS]
 
@@ -241,6 +392,11 @@ def test_sim_host_conformance(contract) -> None:
 @pytest.mark.parametrize("contract", CONTRACTS, ids=CONTRACT_IDS)
 def test_asyncio_host_conformance(contract) -> None:
     asyncio.run(_run_contract(AioHarness, contract))
+
+
+@pytest.mark.parametrize("contract", CONTRACTS, ids=CONTRACT_IDS)
+def test_socket_host_conformance(contract) -> None:
+    asyncio.run(_run_contract(SocketHarness, contract))
 
 
 # ---------------------------------------------------------------------------
@@ -291,3 +447,55 @@ class TestAsyncioAgreementSmoke:
         assert sorted(decisions) == [0, 1, 2, 3]
         assert {d.value for d in decisions.values()} == {"x"}
         assert cluster.transport.sent_count >= cluster.transport.delivered_count
+
+
+# ---------------------------------------------------------------------------
+# Socket end-to-end smoke: real UDP datagrams, one OS process per node
+# ---------------------------------------------------------------------------
+class TestSocketAgreementSmoke:
+    def test_n4_f1_agreement_under_byzantine_mirror_sender(self) -> None:
+        """All three correct nodes decide the value over real sockets.
+
+        The full loop: spawn children, broker the address book, stream
+        decisions back over the results pipes, tear everything down -- with
+        zero live timers and every child exiting 0 (no orphans).
+        """
+        report, decisions = run_agreement_socket(
+            n=4,
+            f=1,
+            seed=3,
+            value="v",
+            byzantine={3: MirrorParticipantStrategy()},
+            time_scale=0.05,
+        )
+        assert sorted(decisions) == [0, 1, 2]
+        assert all(dec.value == "v" for dec in decisions.values())
+        assert report.delivered_count > 0
+        assert report.rejected_count == 0, "well-keyed frames must authenticate"
+        assert report.exit_codes == {0: 0, 1: 0, 2: 0, 3: 0}
+        # Post-close registries must be drained -- and the check is not
+        # vacuous: every correct node held at least its perpetual cleanup
+        # tick going into close(), so teardown genuinely reaped timers.
+        assert all(count == 0 for count in report.live_timers.values()), (
+            f"leaked timers: {report.live_timers}"
+        )
+        for node_id in report.correct_ids:
+            assert report.timers_at_close[node_id] >= 1, (
+                f"node {node_id} reported no live timers before close"
+            )
+        assert report.clean_exit
+
+    def test_n4_f1_agreement_under_twofaced_sender(self) -> None:
+        """A quorum-splitting participant cannot split 3 correct processes."""
+        report, decisions = run_agreement_socket(
+            n=4,
+            f=1,
+            seed=9,
+            value="w",
+            byzantine={3: TwoFacedParticipantStrategy(camp=(0, 1))},
+            time_scale=0.05,
+        )
+        decided = {repr(d.value) for d in decisions.values() if d.value is not BOTTOM}
+        assert len(decided) <= 1, f"correct nodes split: {decided}"
+        assert decided == {"'w'"}
+        assert report.clean_exit

@@ -1,0 +1,60 @@
+"""Golden trace-digest regression for the ``suite --preset smoke`` cells.
+
+The registry golden rows (``tests/test_registry.py``) freeze experiment
+*outputs*; this file freezes the scenario engine's *executions*: each smoke
+cell's combined per-seed ``trace_digest`` at fixed seeds, captured into
+``tests/data/golden_suite_digests.json``.  A digest folds in every per-kind
+event count, so a scenario-engine refactor that reorders deliveries, drops
+events or perturbs a seed stream trips this even when the consolidated rows
+happen to come out the same -- and it must be bit-identical at any worker
+count, because (cell, seed) runs are pure functions fanned over the pool.
+
+If a PR changes scenario semantics *on purpose*, regenerate the golden file
+with the snippet in its ``generated_by`` note and say so in the PR.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.suite import SUITE_PRESETS, run_suite
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_suite_digests.json"
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _cell_view(rows: list[dict]) -> list[dict]:
+    return [
+        {
+            "n": row["n"],
+            "cast": row["cast"],
+            "policy": row["policy"],
+            "timeline": row["timeline"],
+            "digest": row["digest"],
+        }
+        for row in rows
+    ]
+
+
+class TestSmokeSuiteDigests:
+    def test_serial_run_matches_golden(self, golden) -> None:
+        rows = run_suite(SUITE_PRESETS["smoke"])
+        assert _cell_view(rows) == golden["cells"]
+
+    def test_parallel_run_matches_golden(self, golden) -> None:
+        """Digest equality must survive process fan-out (workers=2)."""
+        rows = run_suite(SUITE_PRESETS["smoke"], workers=2)
+        assert _cell_view(rows) == golden["cells"]
+
+    def test_golden_file_covers_every_smoke_cell(self, golden) -> None:
+        from repro.harness.suite import expand_grid
+
+        assert len(golden["cells"]) == len(expand_grid(SUITE_PRESETS["smoke"]))
+        assert golden["preset"] == "smoke"
