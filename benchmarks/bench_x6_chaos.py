@@ -1,0 +1,85 @@
+"""X6: chaos recovery latency -- agreement with vs. without a mid-run kill.
+
+The price of self-healing in wall clock: one n = 4, f = 1 agreement on the
+socket backend as the baseline, then the same run with a SIGKILL (full
+state loss) one protocol unit in, a supervised scrambled respawn, and the
+revenant converging via the General's paced re-initiation wave.  The
+headline number is the victim's recovery latency in units of d -- decision
+stamp minus kill instant -- against the ``Delta_v + 2 * Delta_agr`` bound
+the chaos verdict enforces.
+
+Recorded to ``BENCH_perf.json`` (kind ``end_to_end``; excluded from the
+kernel regression diff -- wall numbers here are machine- and
+load-dependent by design).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.faults.live import run_chaos_agreement
+from repro.runtime.socket_host import run_agreement_socket
+
+from benchmarks.conftest import print_rows, record_bench_result
+
+N = 4
+F = 1
+SEEDS = (0, 1)
+TIME_SCALE = 0.02
+
+
+def _baseline(seed: int) -> dict:
+    start = time.perf_counter()
+    report, decisions = run_agreement_socket(
+        n=N, f=F, seed=seed, value="bench", time_scale=TIME_SCALE
+    )
+    wall_s = time.perf_counter() - start
+    decided = [d for d in decisions.values() if d.decided]
+    assert len(decided) == len(report.correct_ids), "baseline failed to agree"
+    assert report.clean_exit
+    return {
+        "seed": seed,
+        "mode": "no-fault",
+        "wall_s": wall_s,
+        "last_return_local": max(d.returned_local for d in decided),
+    }
+
+
+def _chaos(seed: int) -> dict:
+    start = time.perf_counter()
+    chaos = run_chaos_agreement(
+        n=N, f=F, seed=seed, value="bench", time_scale=TIME_SCALE
+    )
+    wall_s = time.perf_counter() - start
+    assert chaos.ok, "chaos bench run failed to heal"
+    return {
+        "seed": seed,
+        "mode": "kill+heal",
+        "wall_s": wall_s,
+        "recovery_latency_d": chaos.recovery_latency_d,
+        "recovery_bound_d": chaos.recovery_bound_d,
+        "restarts": sum(chaos.report.restart_counts.values()),
+    }
+
+
+def bench_x6_chaos_recovery_latency(benchmark):
+    baseline = [_baseline(seed) for seed in SEEDS]
+    chaos = [_chaos(seed) for seed in SEEDS]
+    print_rows("X6: chaos recovery latency (SIGKILL + supervised heal)", baseline + chaos)
+
+    mean = lambda rows, key: sum(r[key] for r in rows) / len(rows)
+    record_bench_result(
+        "x6_chaos",
+        kind="end_to_end",
+        n=N,
+        f=F,
+        seeds=len(SEEDS),
+        transport="udp-localhost",
+        time_scale_s=TIME_SCALE,
+        baseline_mean_wall_s=mean(baseline, "wall_s"),
+        baseline_mean_return_local=mean(baseline, "last_return_local"),
+        chaos_mean_wall_s=mean(chaos, "wall_s"),
+        mean_recovery_latency_d=mean(chaos, "recovery_latency_d"),
+        recovery_bound_d=chaos[0]["recovery_bound_d"],
+    )
+    benchmark.pedantic(lambda: _chaos(0), rounds=1, iterations=1)

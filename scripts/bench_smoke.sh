@@ -38,6 +38,20 @@ if ! timeout -k 10 120 python -m repro.cli run-socket --n 4 --f 1 --time-scale 0
 fi
 
 echo
+echo "== chaos smoke (SIGKILL one node mid-agreement; supervisor heals it) =="
+# The self-stabilization claim live: full state loss, scrambled respawn,
+# re-convergence on the agreed value, zero orphans.  Same hard-timeout and
+# CI-only orphan-sweep discipline as the socket smoke above.
+if ! timeout -k 10 120 python -m repro.cli chaos --n 4 --f 1 --time-scale 0.02; then
+    echo "chaos smoke FAILED (timed out, no recovery, or unclean exit)" >&2
+    sleep 3
+    if [ "${CI:-}" != "" ]; then
+        pkill -f "from multiprocessing.spawn import spawn_main" 2>/dev/null || true
+    fi
+    exit 1
+fi
+
+echo
 echo "== suite smoke (scenario matrix: 2 timelines x 2 seeds) =="
 python -m repro.cli suite --preset smoke --workers 2
 
@@ -52,9 +66,9 @@ else
 fi
 
 echo
-echo "== benchmark smoke (kernel micro-benchmarks + asyncio/socket host latency) =="
+echo "== benchmark smoke (kernel micro-benchmarks + asyncio/socket/chaos latency) =="
 python -m pytest benchmarks/bench_perf_kernel.py benchmarks/bench_x4_asyncio_host.py \
-    benchmarks/bench_x5_socket_host.py --benchmark-only -q
+    benchmarks/bench_x5_socket_host.py benchmarks/bench_x6_chaos.py --benchmark-only -q
 
 echo
 echo "== validating BENCH_perf.json =="
@@ -83,6 +97,7 @@ required = (
     "e9_small_end_to_end",
     "x4_asyncio_host",
     "x5_socket_host",
+    "x6_chaos",
 )
 missing = [name for name in required if name not in results]
 if missing:

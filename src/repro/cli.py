@@ -23,6 +23,14 @@ Subcommands::
         wall-clock timers.  Same default Byzantine cast as ``run-async``;
         exits non-zero if any child leaks a timer or fails to exit cleanly.
 
+    python -m repro.cli chaos --n 4 --f 1
+        The paper's self-stabilization claim as a live demo: run the socket
+        backend under supervision, SIGKILL ``f`` nodes mid-agreement (full
+        state loss), let the supervisor respawn them with *scrambled*
+        state, and verify every node -- revenants included -- converges to
+        the agreed value within a recovery bound.  Exits non-zero unless
+        agreement, convergence, recovery, and a clean teardown all hold.
+
     python -m repro.cli stabilize --n 7 --seed 5
         Run the havoc -> Delta_stb -> agree stabilization scenario and
         report recovery.  Also accepts ``--seeds``/``--workers``.
@@ -142,6 +150,66 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="hard per-child deadline in protocol units (default: 3 * Delta_agr)",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="SIGKILL f socket-backend nodes mid-agreement and verify the "
+        "supervisor heals them into re-convergence",
+    )
+    chaos.add_argument("--n", type=int, default=4, help="number of nodes")
+    chaos.add_argument(
+        "--f", type=int, default=None, help="fault bound = victims killed "
+        "(default: max for n)"
+    )
+    chaos.add_argument("--delta", type=float, default=1.0, help="message delay bound")
+    chaos.add_argument(
+        "--rho", type=float, default=0.0,
+        help="clock drift bound (default 0: wall clocks share one epoch)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--value", default="v", help="the General's value")
+    chaos.add_argument("--general", type=int, default=0)
+    chaos.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.02,
+        help="wall-clock seconds per protocol time unit (default: 0.02)",
+    )
+    chaos.add_argument(
+        "--kill-at-d",
+        type=float,
+        default=1.0,
+        help="first SIGKILL fires this many d after the epoch (default: 1.0; "
+        "further victims are staggered 1d apart)",
+    )
+    chaos.add_argument(
+        "--victims",
+        type=int,
+        nargs="+",
+        default=None,
+        help="node ids to kill (default: the f highest non-General ids)",
+    )
+    chaos.add_argument(
+        "--recovery-bound-d",
+        type=float,
+        default=None,
+        help="max allowed victim decision latency after its kill, in units "
+        "of d (default: (Delta_v + 2*Delta_agr)/d)",
+    )
+    chaos.add_argument(
+        "--timeout-units",
+        type=float,
+        default=None,
+        help="hard per-child deadline in protocol units "
+        "(default: kill time + Delta_v + 3*Delta_agr)",
+    )
+    chaos.add_argument(
+        "--restart-backoff-s",
+        type=float,
+        default=0.1,
+        help="supervisor base backoff before a respawn (default: 0.1s)",
+    )
+    chaos.add_argument("--trace", action="store_true", help="record child traces")
 
     stab = sub.add_parser("stabilize", help="havoc -> wait Delta_stb -> agree")
     add_model_args(stab)
@@ -425,6 +493,7 @@ def cmd_run_socket(args: argparse.Namespace) -> int:
 
     leaked = {i: c for i, c in report.live_timers.items() if c != 0}
     dirty = {i: c for i, c in report.exit_codes.items() if c != 0}
+    rejected = {i: c for i, c in sorted(report.rejected_by_node.items()) if c}
     ok = _wallclock_verdict(
         decisions,
         sorted(report.correct_ids),
@@ -434,10 +503,75 @@ def cmd_run_socket(args: argparse.Namespace) -> int:
         f"transport: {report.sent_count} sent, {report.delivered_count} delivered, "
         f"{report.rejected_count} rejected frames "
         f"(time_scale={time_scale}s/unit, udp localhost)\n"
+        f"rejected/node: {rejected if rejected else 'none'}\n"
         f"live timers: {'all drained' if not leaked else leaked}\n"
         f"children:    {'all exited 0' if not dirty else dirty}",
     )
     return 0 if (ok and report.clean_exit) else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.live import run_chaos_agreement
+
+    params = _params(args)
+    try:
+        chaos = run_chaos_agreement(
+            n=params.n,
+            f=params.f,
+            seed=args.seed,
+            value=args.value,
+            general=args.general,
+            time_scale=args.time_scale,
+            kill_at_d=args.kill_at_d,
+            victims=args.victims,
+            recovery_bound_d=args.recovery_bound_d,
+            timeout_units=args.timeout_units,
+            restart_backoff_s=args.restart_backoff_s,
+            trace=args.trace,
+            delta=args.delta,
+            rho=args.rho,
+        )
+    except ValueError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+
+    report = chaos.report
+    print(f"victims: {chaos.victims} (SIGKILL + full state loss, first at "
+          f"{chaos.kill_at_d:g}d, scrambled respawn)")
+    for node_id in sorted(report.correct_ids):
+        dec = report.decisions.get(node_id)
+        tags = []
+        if node_id in chaos.victims:
+            tags.append(f"restarts={report.restart_counts.get(node_id, 0)}")
+            latency = chaos.per_victim_latency_d.get(node_id)
+            if latency is not None:
+                tags.append(f"recovered in {latency:.1f}d")
+        suffix = f"  [{', '.join(tags)}]" if tags else ""
+        if dec is None:
+            print(f"node {node_id}: (no return within timeout){suffix}")
+        else:
+            outcome = "ABORT" if dec.value is BOTTOM else repr(dec.value)
+            print(f"node {node_id}: {outcome} at local={dec.returned_local:.2f}"
+                  f"{suffix}")
+
+    rejected = {i: c for i, c in sorted(report.rejected_by_node.items()) if c}
+    leaked = {i: c for i, c in report.live_timers.items() if c != 0}
+    bad_exit = {
+        i: why for i, why in sorted(report.exit_reasons.items()) if why != "ok"
+    }
+    print(f"transport: {report.sent_count} sent, {report.delivered_count} "
+          f"delivered, {report.rejected_count} rejected frames")
+    print(f"rejected/node: {rejected if rejected else 'none'}")
+    print(f"exit reasons: {bad_exit if bad_exit else 'all ok'}")
+    print(f"live timers: {'all drained' if not leaked else leaked}")
+    latency = (f"{chaos.recovery_latency_d:.1f}d"
+               if chaos.recovery_latency_d is not None else "n/a")
+    print(f"recovery: {latency} (bound {chaos.recovery_bound_d:.1f}d)")
+    print(f"agreed={chaos.agreed} converged={chaos.converged} "
+          f"victims_recovered={chaos.victims_recovered} "
+          f"clean_exit={report.clean_exit}")
+    print(f"chaos verdict: {'OK' if chaos.ok else 'FAILED'}")
+    return 0 if chaos.ok else 1
 
 
 def cmd_stabilize(args: argparse.Namespace) -> int:
@@ -528,6 +662,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_run_async(args)
     if args.command == "run-socket":
         return cmd_run_socket(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     if args.command == "stabilize":
         return cmd_stabilize(args)
     if args.command == "suite":

@@ -37,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence, Union
 
-from repro.faults.transient import TransientFaultInjector
+from repro.faults.transient import TransientFaultInjector, wipe_protocol_state
 from repro.net.delivery import (
     BurstyDelay,
     DeliveryPolicy,
@@ -208,11 +208,8 @@ class Crash(FaultAction):
             node = cluster.nodes[node_id]
             node.crash()
             node.cancel_timers()
-            if self.state_loss and hasattr(node, "instances"):
-                node.instances.clear()
-                node._last_initiation = None
-                node._last_initiation_by_value.clear()
-                node._failed_initiation_at = None
+            if self.state_loss:
+                wipe_protocol_state(node)
 
 
 @dataclass(frozen=True)
@@ -225,16 +222,35 @@ class Restart(FaultAction):
     until the decay rules scrub it.  Restarting a node that is not crashed
     is a no-op, so a stray or duplicated restart entry cannot double the
     cleanup tick rate.
+
+    ``scramble=True`` additionally overwrites the revived node's protocol
+    state with plausible garbage via
+    :meth:`~repro.faults.transient.TransientFaultInjector.corrupt_node` --
+    the paper's arbitrary-state recovery model, and the exact scramble the
+    live drivers apply to a respawned process.
     """
 
     nodes: tuple[int, ...] = ()
+    scramble: bool = False
+    value_pool: tuple = ("A", "B", "C")
+    generals: tuple[int, ...] = (0,)
 
     def apply(self, cluster: "Cluster", index: int = 0) -> None:
+        injector = None
+        if self.scramble:
+            injector = TransientFaultInjector(
+                cluster.params,
+                cluster.rng.split(f"timeline/restart/{index}@{self.at_d!r}"),
+                value_pool=list(self.value_pool),
+                generals=list(self.generals),
+            )
         for node_id in self.nodes:
             node = cluster.nodes[node_id]
             if not node.crashed:
                 continue
             node.resume()
+            if injector is not None and hasattr(node, "instances"):
+                injector.corrupt_node(node)
             if hasattr(node, "cleanup_interval_d"):
                 node.every_local(
                     node.cleanup_interval_d * node.params.d,

@@ -39,6 +39,22 @@ from repro.net.network import Network
 from repro.sim.rand import RandomSource
 
 
+def wipe_protocol_state(node: ProtocolNode) -> None:
+    """Erase every protocol variable: the restart-from-empty-disk model.
+
+    Shared by the sim timeline's ``Crash(state_loss=True)`` and the live
+    fault drivers (a SIGKILLed process loses its heap for real; an
+    in-process asyncio "crash" must lose it explicitly), so both paths
+    agree on what "full state loss" means.
+    """
+    if not hasattr(node, "instances"):
+        return
+    node.instances.clear()
+    node._last_initiation = None
+    node._last_initiation_by_value.clear()
+    node._failed_initiation_at = None
+
+
 class TransientFaultInjector:
     """Applies transient chaos to a set of protocol nodes and the network."""
 
@@ -63,9 +79,12 @@ class TransientFaultInjector:
         for general in self.generals:
             node.instance(general)
         node.corrupt(self.rng, self.value_pool)
-        node.clock.corrupt_offset(
-            self.rng.uniform(-self.params.delta_stb, self.params.delta_stb)
-        )
+        if node.clock is not None:
+            # Wall-clock backends own no corruptible clock object; state
+            # corruption alone is the arbitrary-state model there.
+            node.clock.corrupt_offset(
+                self.rng.uniform(-self.params.delta_stb, self.params.delta_stb)
+            )
 
     def corrupt_nodes(self, nodes: Sequence[ProtocolNode]) -> None:
         """Corrupt many nodes."""
@@ -169,4 +188,4 @@ class TransientFaultInjector:
         )
 
 
-__all__ = ["TransientFaultInjector"]
+__all__ = ["TransientFaultInjector", "wipe_protocol_state"]

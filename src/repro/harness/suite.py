@@ -24,6 +24,14 @@ specs for timelines), so a cell is a plain picklable dict and the per-seed
 runs fan out over the shared process pool exactly like the experiment
 drivers -- bit-identical rows and trace digests at any worker count.
 
+A cell may also carry ``"backend": "asyncio"``: the **same** timeline spec
+is then interpreted live by :class:`~repro.faults.live.AsyncioFaultDriver`
+against an in-process wall-clock cluster (real ``loop.call_later`` timers,
+real elapsed time).  Such cells score with the same row shape but are not
+replayable -- wall-clock jitter moves the counters between runs -- so keep
+them out of digest-pinned suites; the default ``"sim"`` backend stays
+bit-identical.
+
 :func:`run_suite` returns one consolidated row per cell;
 :func:`suite_report` renders the rows as the Markdown artifact the CLI
 prints.  ``python -m repro.cli suite --preset smoke`` is the end-to-end
@@ -102,15 +110,24 @@ def _cell_params(cell: dict) -> ProtocolParams:
     )
 
 
-def _run_cell(cell: dict, seed: int) -> tuple:
-    """One (cell, seed) run; a pure function of its arguments."""
-    params = _cell_params(cell)
+def _build_cast(cell: dict, params: ProtocolParams) -> dict:
     cast_name = cell.get("cast", "none")
     try:
-        cast = CAST_BUILDERS[cast_name](params)
+        return CAST_BUILDERS[cast_name](params)
     except KeyError:
         known = ", ".join(sorted(CAST_BUILDERS))
         raise KeyError(f"unknown cast {cast_name!r} (known: {known})") from None
+
+
+def _run_cell(cell: dict, seed: int) -> tuple:
+    """One (cell, seed) run; a pure function of its arguments."""
+    backend = cell.get("backend", "sim")
+    if backend == "asyncio":
+        return _run_cell_asyncio(cell, seed)
+    if backend != "sim":
+        raise KeyError(f"unknown backend {backend!r} (known: sim, asyncio)")
+    params = _cell_params(cell)
+    cast = _build_cast(cell, params)
     cluster = Cluster(
         ScenarioConfig(
             params=params,
@@ -157,6 +174,104 @@ def _run_cell(cell: dict, seed: int) -> tuple:
     )
 
 
+def _run_cell_asyncio(cell: dict, seed: int) -> tuple:
+    """One (cell, seed) run on the asyncio wall-clock backend.
+
+    Same result shape as the sim path, but elapsed time is real: the cell's
+    timeline is interpreted by a live
+    :class:`~repro.faults.live.AsyncioFaultDriver`, delays come from a
+    *named* live policy, and injected-fault drops land in the
+    ``dropped_partition`` column (the transport's ``dropped_fault_count``).
+    The digest hashes jittery wall-clock counters -- structural parity
+    only, not a replay pin.
+    """
+    import asyncio
+
+    from repro.faults.live import AsyncioFaultDriver, build_live_policy
+    from repro.runtime.aio import AsyncioCluster
+
+    params = _cell_params(cell)
+    cast = _build_cast(cell, params)
+    script = build_timeline(cell.get("timeline", "none"), params)
+    general = cell.get("general", 0)
+
+    async def body() -> tuple:
+        cluster = AsyncioCluster(
+            params,
+            seed=seed,
+            time_scale=cell.get("time_scale", 0.02),
+            byzantine=cast,
+            trace=cell.get("trace", False),
+        )
+        driver = AsyncioFaultDriver(script, cluster)
+        try:
+            cluster.transport.set_policy(
+                build_live_policy(
+                    cell.get("policy", "live_default"),
+                    params,
+                    cluster.transport.now,
+                )
+            )
+            driver.install()
+            correct = [
+                i for i in cluster.correct_ids if i not in script.churned_nodes()
+            ]
+            t0 = cluster.transport.now()
+            value = cell.get("value", "v")
+            proposed = cluster.propose(general, value)
+            # Live runs have no simulator stragglers to keep the event pump
+            # alive through a long cut, so a cell may ask the General to
+            # periodically retry its proposal (pacing-guarded: refused until
+            # the Sending Validity Criteria allow a re-initiation).
+            repropose = cell.get("repropose_every_d")
+            if repropose and general in cluster.correct_ids:
+                node = cluster.nodes[general]
+                node.every_local(
+                    repropose * params.d,
+                    lambda: node.propose(value),
+                    tag=f"repropose:{general}",
+                )
+            run_for_d = cell.get("run_for_d")
+            horizon = (
+                run_for_d * params.d
+                if run_for_d is not None
+                else params.delta_agr + 10 * params.d
+            )
+            deadline = t0 + horizon
+            while cluster.transport.now() < deadline:
+                if all(
+                    cluster.nodes[i].decisions_for(general) for i in correct
+                ):
+                    break
+                await cluster.sleep_units(
+                    min(1.0, deadline - cluster.transport.now())
+                )
+        finally:
+            driver.cancel()
+            cluster.close()
+        latest = cluster.latest_decision_per_node(general)
+        returned = {i: latest[i] for i in correct if i in latest}
+        agree = len(returned) == len(correct) and (
+            len({repr(dec.value) for dec in returned.values()}) <= 1
+        )
+        decided = [dec for dec in returned.values() if dec.decided]
+        transport = cluster.transport
+        dropped_fault = transport.dropped_fault_count
+        return (
+            proposed,
+            agree,
+            len(decided),
+            tuple(metrics.decision_latencies(decided, t0)),
+            transport.sent_count,
+            transport.delivered_count,
+            dropped_fault,
+            transport.dropped_count - dropped_fault,
+            trace_digest(cluster.tracer),
+        )
+
+    return asyncio.run(body())
+
+
 # ---------------------------------------------------------------------------
 # Grid expansion and aggregation
 # ---------------------------------------------------------------------------
@@ -192,8 +307,12 @@ def _cell_row(cell: dict, results: list, seed_list: Sequence[int]) -> dict:
     return {
         "n": params.n,
         "f": params.f,
+        "backend": cell.get("backend", "sim"),
         "cast": cell.get("cast", "none"),
-        "policy": cell.get("policy", "uniform"),
+        "policy": cell.get(
+            "policy",
+            "live_default" if cell.get("backend") == "asyncio" else "uniform",
+        ),
         "timeline": _timeline_label(cell.get("timeline", "none")),
         "runs": runs,
         "proposed": sum(1 for r in results if r[0]),
@@ -284,6 +403,31 @@ SUITE_PRESETS: dict[str, dict] = {
                 "churn",
                 "partition_storm",
             ],
+        },
+    },
+    # Wall-clock smoke: the same timeline specs interpreted *live* by the
+    # asyncio backend's fault driver (real timers, real elapsed time).  Not
+    # digest-pinned -- wall-clock jitter moves the counters between runs.
+    # The horizon covers a full IG3 back-off: a cut that outlasts the
+    # in-flight traffic silences the live event pump and fails the first
+    # initiation, so the agreement completes on the General's paced
+    # re-proposal wave once Delta_reset (168d at f=1) has elapsed.
+    "live_smoke": {
+        "name": "live_smoke",
+        "seeds": [0],
+        "base": {
+            "delta": 1.0,
+            "rho": 0.0,
+            "value": "v",
+            "backend": "asyncio",
+            "policy": "live_default",
+            "time_scale": 0.02,
+            "repropose_every_d": 2.0,
+            "run_for_d": 185.0,
+        },
+        "grid": {
+            "n": [4],
+            "timeline": ["none", "partition_heal"],
         },
     },
     # Casts x policies: adversarial participants under network regimes.

@@ -35,7 +35,12 @@ from typing import Callable, Optional
 from repro.core.agreement import Decision, ProtocolNode
 from repro.core.messages import Value
 from repro.core.params import ProtocolParams
-from repro.net.delivery import DeliveryPolicy, UniformDelay
+from repro.net.delivery import (
+    DeliveryPolicy,
+    FixedDelay,
+    LinkPartitionPolicy,
+    UniformDelay,
+)
 from repro.net.network import Envelope
 from repro.runtime.api import INERT_TIMER, Action, TimerHandle, TimerRegistry
 from repro.runtime.framing import FrameError, decode_frame, derive_key, encode_frame
@@ -106,10 +111,55 @@ class AsyncioTransport:
         self._tracer = tracer
         self._receivers: dict[int, Callable[[Envelope], None]] = {}
         self._node_ids: Optional[list[int]] = None
+        self._isolated: frozenset[int] = frozenset()
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
         self.rejected_count = 0
+        #: Copies suppressed by injected link faults (partition cuts and
+        #: isolation) -- kept separate from ordinary policy drops so live
+        #: runs can attribute loss to its cause, like the sim network does.
+        self.dropped_fault_count = 0
+
+    # ------------------------------------------------------------------
+    # Live fault injection (sender-side drop matrix)
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> Optional[DeliveryPolicy]:
+        return self._policy
+
+    def set_policy(self, policy: Optional[DeliveryPolicy]) -> None:
+        """Swap the delivery policy mid-run (live ``SwapPolicy``)."""
+        self._policy = policy
+
+    def set_partition(self, island: frozenset[int]) -> None:
+        """Cut ``island`` off by wrapping the live policy (sim semantics)."""
+        self._policy = LinkPartitionPolicy(
+            self._policy if self._policy is not None else FixedDelay(0.0),
+            frozenset(island),
+        )
+
+    def heal_partitions(self) -> None:
+        """Heal every cut, unwrapping the wrapper stack entirely."""
+        policy = self._policy
+        unwrapped = False
+        while isinstance(policy, LinkPartitionPolicy):
+            policy = policy.inner
+            unwrapped = True
+        if unwrapped:
+            self._policy = policy
+
+    def isolate(self, nodes) -> None:
+        """Hard-disconnect nodes: every copy touching them is suppressed."""
+        self._isolated = self._isolated | frozenset(nodes)
+
+    def reconnect(self, nodes) -> None:
+        """Undo :meth:`isolate` for the given nodes."""
+        self._isolated = self._isolated - frozenset(nodes)
+
+    def _fault_blocked(self, sender: int, receiver: int) -> bool:
+        isolated = self._isolated
+        return bool(isolated) and (sender in isolated or receiver in isolated)
 
     # ------------------------------------------------------------------
     # Time (shared axis for every host on this transport)
@@ -169,11 +219,17 @@ class AsyncioTransport:
                 )
             else:
                 tracer.bump("send")
+        if self._fault_blocked(sender, receiver):
+            self.dropped_count += 1
+            self.dropped_fault_count += 1
+            return
         delay_units = 0.0
         if self._policy is not None:
             decision = self._policy.decide(sender, receiver, payload, self._rand)
             if decision.drop:
                 self.dropped_count += 1
+                if decision.partition:
+                    self.dropped_fault_count += 1
                 return
             delay_units = decision.delay
         self.loop.call_later(

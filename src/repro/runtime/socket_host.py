@@ -43,6 +43,8 @@ from __future__ import annotations
 import asyncio
 import multiprocessing
 import multiprocessing.connection
+import os
+import signal
 import socket
 import time
 from dataclasses import dataclass, field
@@ -51,7 +53,12 @@ from typing import Any, Callable, Optional
 from repro.core.agreement import Decision, ProtocolNode
 from repro.core.messages import Value
 from repro.core.params import ProtocolParams
-from repro.net.delivery import DeliveryPolicy, UniformDelay
+from repro.net.delivery import (
+    DeliveryPolicy,
+    FixedDelay,
+    LinkPartitionPolicy,
+    UniformDelay,
+)
 from repro.net.network import Envelope
 from repro.runtime.aio import AsyncioHost
 from repro.runtime.framing import (
@@ -123,13 +130,62 @@ class SocketTransport:
         self._receiver: Optional[Callable[[Envelope], None]] = None
         self._pending_sends: list[asyncio.TimerHandle] = []
         self._closed = False
+        self._isolated: frozenset[int] = frozenset()
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
+        #: Copies suppressed at this sender by injected link faults
+        #: (partition cuts, isolation) rather than the ordinary policy.
+        self.dropped_fault_count = 0
         #: Datagrams refused at the receiver: truncated, oversized, garbage,
         #: or failing authentication.  Never delivered, always counted.
         self.rejected_count = 0
         self.loop.add_reader(self.sock.fileno(), self._on_readable)
+
+    # ------------------------------------------------------------------
+    # Live fault injection (sender-side drop matrix)
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> Optional[DeliveryPolicy]:
+        return self._policy
+
+    def set_policy(self, policy: Optional[DeliveryPolicy]) -> None:
+        """Swap the delivery policy mid-run (live ``SwapPolicy``)."""
+        self._policy = policy
+
+    def set_partition(self, island: frozenset[int]) -> None:
+        """Cut ``island`` off by wrapping the live policy (sim semantics).
+
+        Every child applies the same island spec to its own sender, so the
+        cut is consistent cluster-wide: a copy crossing the cut is dropped
+        before any byte leaves the process.
+        """
+        self._policy = LinkPartitionPolicy(
+            self._policy if self._policy is not None else FixedDelay(0.0),
+            frozenset(island),
+        )
+
+    def heal_partitions(self) -> None:
+        """Heal every cut, unwrapping the wrapper stack entirely."""
+        policy = self._policy
+        unwrapped = False
+        while isinstance(policy, LinkPartitionPolicy):
+            policy = policy.inner
+            unwrapped = True
+        if unwrapped:
+            self._policy = policy
+
+    def isolate(self, nodes) -> None:
+        """Hard-disconnect nodes: every copy touching them is suppressed."""
+        self._isolated = self._isolated | frozenset(nodes)
+
+    def reconnect(self, nodes) -> None:
+        """Undo :meth:`isolate` for the given nodes."""
+        self._isolated = self._isolated - frozenset(nodes)
+
+    def _fault_blocked(self, sender: int, receiver: int) -> bool:
+        isolated = self._isolated
+        return bool(isolated) and (sender in isolated or receiver in isolated)
 
     # ------------------------------------------------------------------
     # Time (shared axis for every transport on this epoch)
@@ -195,11 +251,17 @@ class SocketTransport:
                 )
             else:
                 tracer.bump("send")
+        if self._fault_blocked(sender, receiver):
+            self.dropped_count += 1
+            self.dropped_fault_count += 1
+            return
         delay_units = 0.0
         if self._policy is not None:
             decision = self._policy.decide(sender, receiver, payload, self._rand)
             if decision.drop:
                 self.dropped_count += 1
+                if decision.partition:
+                    self.dropped_fault_count += 1
                 return
             delay_units = decision.delay
         if delay_units <= 0.0:
@@ -377,10 +439,39 @@ async def _child_run(
             strategy = strategy(root.split(f"byz/{node_id}"))
         node = ByzantineNode(node_id, host, params, strategy)
 
+    if cfg.get("scramble") and strategy is None:
+        # A supervisor-respawned incarnation restarting from "arbitrary
+        # state": the same scramble the sim Restart applies, seeded per
+        # incarnation so two respawns never replay one stream.
+        from repro.faults.transient import TransientFaultInjector
+
+        injector = TransientFaultInjector(
+            params,
+            root.split(f"scramble/{node_id}/{cfg.get('incarnation', 0)}"),
+            value_pool=list(cfg.get("value_pool") or ("A", "B", "C")),
+            generals=[cfg["general"]],
+        )
+        injector.corrupt_node(node)
+
     # The epoch sits slightly in the future, so every child is armed before
     # local time 0; the General proposes right at the epoch.
-    if cfg["value"] is not None and node_id == cfg["general"] and cfg["strategy"] is None:
-        host.schedule_after(max(0.0, -host.now()), lambda: node.propose(cfg["value"]))
+    if cfg["value"] is not None and node_id == cfg["general"] and strategy is None:
+
+        def kickoff() -> None:
+            node.propose(cfg["value"])
+            if cfg.get("repropose_every_d"):
+                # Chaos mode: keep offering the same value, starting *at*
+                # the epoch (never before it).  ``propose`` is
+                # pacing-guarded, so the offers are refused until the
+                # Sending Validity Criteria allow a re-initiation -- the
+                # wave a healed node converges on.
+                node.every_local(
+                    cfg["repropose_every_d"] * params.d,
+                    lambda: node.propose(cfg["value"]),
+                    tag=f"repropose:{node_id}",
+                )
+
+        host.schedule_after(max(0.0, -host.now()), kickoff)
 
     deadline_units = cfg["timeout_units"]
     stop = False
@@ -392,6 +483,24 @@ async def _child_run(
                 msg = conn.recv()
                 if msg[0] == "stop":
                     stop = True
+                elif msg[0] == "rebind":
+                    # Rejoin handshake: a peer was respawned on a fresh UDP
+                    # port; route its copies there from now on.
+                    _tag, peer_id, addr = msg
+                    transport.directory[peer_id] = tuple(addr)
+                elif msg[0] == "fault":
+                    _tag, fault_kind, fault_args = msg
+                    from repro.faults.live import apply_transport_fault
+
+                    try:
+                        apply_transport_fault(
+                            transport, params, fault_kind, fault_args
+                        )
+                    except Exception:
+                        # A malformed directive must not kill the node; the
+                        # parent's script was validated, so this is belt
+                        # and braces.
+                        pass
         except (EOFError, OSError):
             stop = True
         if not stop:
@@ -468,6 +577,9 @@ class SocketRunReport:
     delivered_count: int = 0
     dropped_count: int = 0
     rejected_count: int = 0
+    #: Per-node auth-failed / malformed datagram counts: forged or garbled
+    #: traffic is observable per receiver, not just as a cluster total.
+    rejected_by_node: dict[int, int] = field(default_factory=dict)
     #: Registry population *after* each child's close(): must be 0 (close
     #: drains and refuses re-arming).
     live_timers: dict[int, int] = field(default_factory=dict)
@@ -475,7 +587,17 @@ class SocketRunReport:
     #: running node holds its cleanup tick + decaying instance timers, so
     #: nonzero is normal; reported for observability, not gated.
     timers_at_close: dict[int, int] = field(default_factory=dict)
+    #: Final incarnation's exit code per node (None = still alive at kill).
     exit_codes: dict[int, Optional[int]] = field(default_factory=dict)
+    #: Structured fate of each node's final incarnation:
+    #: ``ok`` (exited 0 with a result), ``no_result`` (exited 0, result lost
+    #: -- e.g. killed mid-write), ``signal:<n>`` / ``error:<n>`` (died by
+    #: signal / nonzero exit), ``hung`` (never exited; close() reaped it),
+    #: ``retired:<why>`` (supervisor gave up: restart budget exhausted or
+    #: the node never bootstrapped).
+    exit_reasons: dict[int, str] = field(default_factory=dict)
+    #: Supervisor respawn count per node (0 = never died).
+    restart_counts: dict[int, int] = field(default_factory=dict)
     tracer: Optional[Tracer] = None
 
     @property
@@ -493,6 +615,22 @@ class SocketCluster:
     the address book, streams decisions off the results pipes, and owns
     teardown (cooperative stop first, then terminate, then kill) so no
     child can outlive a run.
+
+    With ``supervise=True`` the parent is also a supervisor: a child that
+    dies abnormally (killed, crashed) is respawned with exponential backoff
+    under a bounded per-node restart budget, its fresh UDP address is
+    re-brokered to the survivors over the control pipes (a ``rebind``
+    handshake), and -- when the budget runs out -- the dead node is retired
+    and the survivors keep running (graceful degradation).  A respawned
+    incarnation shares the original epoch, so its clock lands on the
+    cluster's time axis, and can be spawned with ``scramble_on_restart`` to
+    model the paper's recovery-from-arbitrary-state.
+
+    ``fault_script`` accepts anything :func:`~repro.faults.timeline.
+    build_timeline` resolves (a :class:`~repro.faults.timeline.FaultScript`,
+    a registered timeline name, or inline JSON-able dicts) and drives it
+    through a :class:`~repro.faults.live.WallClockFaultDriver` on the
+    shared epoch.
     """
 
     def __init__(
@@ -507,6 +645,13 @@ class SocketCluster:
         general: int = 0,
         timeout_units: Optional[float] = None,
         startup_grace_s: float = 0.35,
+        supervise: bool = False,
+        restart_budget: int = 3,
+        restart_backoff_s: float = 0.25,
+        scramble_on_restart: bool = False,
+        fault_script: object = None,
+        repropose_every_d: Optional[float] = None,
+        value_pool: tuple = ("A", "B", "C"),
     ) -> None:
         byzantine = byzantine or {}
         if len(byzantine) > params.f:
@@ -523,58 +668,348 @@ class SocketCluster:
         self.correct_ids = [i for i in range(params.n) if i not in byzantine]
         self.byzantine_ids = sorted(byzantine)
         self._auth_key = derive_key(f"socket-cluster/{seed}")
-        ctx = multiprocessing.get_context("spawn")
+        self._byzantine = dict(byzantine)
+        self._policy_cfg = policy
+        self._supervise = supervise
+        self._restart_budget = restart_budget
+        self._restart_backoff_s = restart_backoff_s
+        self._scramble_on_restart = scramble_on_restart
+        self._repropose_every_d = repropose_every_d
+        self._value_pool = tuple(value_pool)
+        self._ctx = multiprocessing.get_context("spawn")
         self.procs: dict[int, multiprocessing.Process] = {}
         self.conns: dict[int, Any] = {}
-        for node_id in range(params.n):
-            parent_conn, child_conn = ctx.Pipe()
-            cfg = {
-                "node_id": node_id,
-                "n": params.n,
-                "f": params.f,
-                "delta": params.delta,
-                "rho": params.rho,
-                "seed": seed,
-                "time_scale": time_scale,
-                "trace": trace,
-                "policy": policy,
-                "strategy": byzantine.get(node_id),
-                "value": value,
-                "general": general,
-                "timeout_units": self.timeout_units,
-            }
-            proc = ctx.Process(
-                target=_socket_node_main,
-                args=(cfg, child_conn),
-                daemon=True,
-                name=f"repro-socket-node-{node_id}",
+        # Supervisor bookkeeping (all keyed by node id).
+        self._incarnations: dict[int, int] = {}
+        self._restarts: dict[int, int] = {i: 0 for i in range(params.n)}
+        self._exit_reason: dict[int, str] = {}
+        self._retired: set[int] = set()
+        self._stopped_procs: set[int] = set()  # SIGSTOP'd (soft crash)
+        self._down: dict[int, float] = {}  # node -> respawn-not-before (mono)
+        self._down_scramble: dict[int, bool] = {}
+        self._awaiting_port: set[int] = set()
+        self._death_handled: set[tuple[int, int]] = set()
+        self._decided_incarnation: dict[int, int] = {}
+        self._results: dict[int, dict] = {}
+        self._report: Optional[SocketRunReport] = None
+        self._stop_sent = False
+        self._peers: dict[int, tuple[str, int]] = {}
+        self._epoch_wall: Optional[float] = None
+        self._driver = None
+        if fault_script is not None:
+            from repro.faults.live import WallClockFaultDriver
+            from repro.faults.timeline import build_timeline
+
+            self._driver = WallClockFaultDriver(
+                build_timeline(fault_script, params), self
             )
-            proc.start()
-            child_conn.close()
-            self.procs[node_id] = proc
-            self.conns[node_id] = parent_conn
+        for node_id in range(params.n):
+            self._spawn(node_id)
         self._closed = False
         self._started = False
         self._startup_grace_s = startup_grace_s
 
     # ------------------------------------------------------------------
+    # Spawning (initial and supervisor respawns)
+    # ------------------------------------------------------------------
+    def _make_cfg(self, node_id: int, incarnation: int, scramble: bool) -> dict:
+        return {
+            "node_id": node_id,
+            "n": self.params.n,
+            "f": self.params.f,
+            "delta": self.params.delta,
+            "rho": self.params.rho,
+            "seed": self.seed,
+            "time_scale": self.time_scale,
+            "trace": self.trace,
+            "policy": self._policy_cfg,
+            "strategy": self._byzantine.get(node_id),
+            "value": self.value,
+            "general": self.general,
+            "timeout_units": self.timeout_units,
+            "incarnation": incarnation,
+            "scramble": scramble,
+            "repropose_every_d": self._repropose_every_d,
+            "value_pool": self._value_pool,
+        }
+
+    def _spawn(
+        self, node_id: int, incarnation: int = 0, scramble: bool = False
+    ) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_socket_node_main,
+            args=(self._make_cfg(node_id, incarnation, scramble), child_conn),
+            daemon=True,
+            name=f"repro-socket-node-{node_id}.{incarnation}",
+        )
+        proc.start()
+        child_conn.close()
+        self.procs[node_id] = proc
+        self.conns[node_id] = parent_conn
+        self._incarnations[node_id] = incarnation
+
+    # ------------------------------------------------------------------
     # Setup barrier: collect ports, distribute the address book
     # ------------------------------------------------------------------
     def _start_children(self) -> None:
+        """Collect every child's UDP port, then broadcast the address book.
+
+        Under supervision the barrier retries: a child that dies before
+        reporting its port is respawned (budget permitting) or retired with
+        ``exit_reason`` ``retired:spawn_failed`` -- the run proceeds
+        degraded.  Without supervision a silent or dead child is a hard
+        error, as before.
+        """
         deadline = time.monotonic() + STARTUP_TIMEOUT_S
         peers: dict[int, tuple[str, int]] = {}
-        for node_id, conn in self.conns.items():
-            remaining = deadline - time.monotonic()
-            if remaining <= 0 or not conn.poll(remaining):
-                raise TimeoutError(f"node {node_id} never reported its UDP port")
-            tag, reported_id, port = conn.recv()
-            if tag != "port" or reported_id != node_id:
-                raise RuntimeError(f"unexpected setup message from node {node_id}")
-            peers[node_id] = ("127.0.0.1", port)
+        want = set(self.procs)
+        while want - set(peers) and time.monotonic() < deadline:
+            # Respawn (or retire) children that died before reporting.
+            for node_id in sorted(want - set(peers)):
+                proc = self.procs[node_id]
+                if proc.is_alive() or node_id not in self.conns:
+                    continue
+                if self.conns[node_id].poll():
+                    continue  # port message already queued; drain it below
+                self._drop_conn(node_id)
+                if (
+                    self._supervise
+                    and self._restarts[node_id] < self._restart_budget
+                ):
+                    self._restarts[node_id] += 1
+                    self._spawn(node_id, self._incarnations[node_id] + 1)
+                elif self._supervise:
+                    self._exit_reason[node_id] = "spawn_failed"
+                    self._retired.add(node_id)
+                    want.discard(node_id)
+                else:
+                    raise RuntimeError(
+                        f"node {node_id} died during startup "
+                        f"(exit code {proc.exitcode})"
+                    )
+            waitable = {
+                node_id: self.conns[node_id]
+                for node_id in want
+                if node_id not in peers and node_id in self.conns
+            }
+            if not waitable:
+                break
+            ready = multiprocessing.connection.wait(
+                list(waitable.values()), timeout=0.2
+            )
+            for conn in ready:
+                node_id = next(i for i, c in waitable.items() if c is conn)
+                msg = self._safe_recv(node_id, conn)
+                if msg is None:
+                    continue
+                tag, reported_id, port = msg
+                if tag != "port" or reported_id != node_id:
+                    raise RuntimeError(
+                        f"unexpected setup message from node {node_id}"
+                    )
+                peers[node_id] = ("127.0.0.1", port)
+        leftover = want - set(peers)
+        if leftover:
+            if not self._supervise:
+                raise TimeoutError(
+                    f"nodes {sorted(leftover)} never reported a UDP port"
+                )
+            for node_id in leftover:
+                self._exit_reason[node_id] = "spawn_failed"
+                self._retired.add(node_id)
+                self._drop_conn(node_id)
+        self._peers = peers
         epoch_wall = time.time() + self._startup_grace_s
-        for conn in self.conns.values():
-            conn.send(("start", peers, epoch_wall, self._auth_key))
+        self._epoch_wall = epoch_wall
+        for node_id, conn in list(self.conns.items()):
+            if node_id not in peers:
+                continue
+            try:
+                conn.send(("start", peers, epoch_wall, self._auth_key))
+            except (BrokenPipeError, OSError):
+                pass  # death is classified by the supervisor pump
+        if self._driver is not None:
+            self._driver.start(epoch_wall)
         self._started = True
+
+    # ------------------------------------------------------------------
+    # Supervisor: death detection, backoff respawns, rejoin handshake
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _reason_from_exitcode(code: Optional[int]) -> str:
+        if code is None:
+            return "hung"
+        if code == 0:
+            return "ok"
+        if code < 0:
+            return f"signal:{-code}"
+        return f"error:{code}"
+
+    def _drop_conn(self, node_id: int) -> None:
+        conn = self.conns.pop(node_id, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _safe_recv(self, node_id: int, conn) -> Optional[tuple]:
+        """Receive one control message; degrade pipe damage to None.
+
+        A child SIGKILLed mid-write leaves a truncated frame on the pipe;
+        unpickling it raises implementation-defined errors.  Either way the
+        pipe is dead: retire it and let the supervisor pump classify the
+        death from the exit code.  The parent never propagates.
+        """
+        try:
+            return conn.recv()
+        except (EOFError, OSError):
+            pass
+        except Exception:
+            pass
+        self._drop_conn(node_id)
+        return None
+
+    def _pump_supervisor(self) -> None:
+        """One supervision tick: classify deaths, fire due respawns."""
+        # 1. Detect deaths of current incarnations.
+        for node_id, proc in list(self.procs.items()):
+            if (
+                node_id in self._retired
+                or node_id in self._down
+                or node_id in self._stopped_procs
+            ):
+                continue
+            if proc.is_alive():
+                continue
+            key = (node_id, self._incarnations[node_id])
+            if key in self._death_handled:
+                continue
+            self._death_handled.add(key)
+            self._handle_death(node_id, proc)
+        # 2. Fire respawns whose backoff has elapsed.
+        now = time.monotonic()
+        for node_id, not_before in list(self._down.items()):
+            if now < not_before:
+                continue
+            del self._down[node_id]
+            scramble = self._down_scramble.pop(node_id, False)
+            self._spawn(
+                node_id, self._incarnations[node_id] + 1, scramble=scramble
+            )
+            self._awaiting_port.add(node_id)
+
+    def _handle_death(self, node_id: int, proc) -> None:
+        self._exit_reason[node_id] = self._reason_from_exitcode(proc.exitcode)
+        self._drop_conn(node_id)
+        self._awaiting_port.discard(node_id)
+        if (
+            node_id in self._results
+            or self._stop_sent
+            or self._closed
+            or proc.exitcode == 0
+        ):
+            return  # a normal completion, not a failure to heal
+        if self._supervise and self._restarts[node_id] < self._restart_budget:
+            delay = self._restart_backoff_s * (2.0 ** self._restarts[node_id])
+            self._restarts[node_id] += 1
+            self._down[node_id] = time.monotonic() + delay
+            self._down_scramble[node_id] = self._scramble_on_restart
+            # The dead incarnation's protocol state -- decisions included --
+            # is gone; the revenant must re-decide for the run to converge.
+            if self._report is not None:
+                self._report.decisions.pop(node_id, None)
+            self._decided_incarnation.pop(node_id, None)
+        else:
+            self._retired.add(node_id)
+
+    def _complete_rejoin(self, node_id: int, port: int) -> None:
+        """Finish a respawned child's bootstrap: start it, re-broker it."""
+        addr = ("127.0.0.1", port)
+        self._peers[node_id] = addr
+        self._awaiting_port.discard(node_id)
+        conn = self.conns.get(node_id)
+        if conn is not None:
+            try:
+                conn.send(
+                    ("start", dict(self._peers), self._epoch_wall, self._auth_key)
+                )
+            except (BrokenPipeError, OSError):
+                return
+        for other_id, other_conn in list(self.conns.items()):
+            if other_id == node_id:
+                continue
+            try:
+                other_conn.send(("rebind", node_id, addr))
+            except (BrokenPipeError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Live fault surface (used by WallClockFaultDriver)
+    # ------------------------------------------------------------------
+    def broadcast_fault(self, kind: str, args: dict) -> None:
+        """Send a link-fault directive to every currently live child."""
+        for conn in list(self.conns.values()):
+            try:
+                conn.send(("fault", kind, dict(args)))
+            except (BrokenPipeError, OSError):
+                pass
+
+    def kill_node(self, node_id: int, state_loss: bool = True) -> None:
+        """Crash one child: SIGKILL (full state loss) or SIGSTOP (a stun)."""
+        proc = self.procs.get(node_id)
+        if proc is None or not proc.is_alive() or proc.pid is None:
+            return
+        if state_loss:
+            proc.kill()
+            # The heap died with the process: any decision this incarnation
+            # reported no longer exists on the node, so the run must not
+            # count it toward convergence (and must not race a stop on it).
+            if self._report is not None:
+                self._report.decisions.pop(node_id, None)
+            self._decided_incarnation.pop(node_id, None)
+        else:
+            try:
+                os.kill(proc.pid, signal.SIGSTOP)
+            except (ProcessLookupError, OSError):
+                return
+            self._stopped_procs.add(node_id)
+
+    def revive_node(self, node_id: int, scramble: bool = False) -> None:
+        """Scripted ``Restart``: SIGCONT a stunned child, respawn a dead one.
+
+        A scripted restart is explicit, so it fires immediately (no
+        backoff) and overrides retirement; a node that is alive and running
+        is left alone, mirroring the sim Restart's crashed-only no-op.
+        """
+        proc = self.procs.get(node_id)
+        if proc is None:
+            return
+        if node_id in self._stopped_procs:
+            if proc.pid is not None:
+                try:
+                    os.kill(proc.pid, signal.SIGCONT)
+                except (ProcessLookupError, OSError):
+                    pass
+            self._stopped_procs.discard(node_id)
+            return
+        if proc.is_alive():
+            return
+        key = (node_id, self._incarnations[node_id])
+        if key not in self._death_handled:
+            self._death_handled.add(key)
+            self._exit_reason[node_id] = self._reason_from_exitcode(proc.exitcode)
+            self._drop_conn(node_id)
+        self._retired.discard(node_id)
+        self._down.pop(node_id, None)
+        self._down_scramble.pop(node_id, None)
+        if self._report is not None:
+            self._report.decisions.pop(node_id, None)
+        self._decided_incarnation.pop(node_id, None)
+        self._restarts[node_id] += 1
+        self._spawn(node_id, self._incarnations[node_id] + 1, scramble=scramble)
+        self._awaiting_port.add(node_id)
 
     # ------------------------------------------------------------------
     # Driving
@@ -583,7 +1018,10 @@ class SocketCluster:
         """Run one agreement to completion and tear the cluster down.
 
         Returns the consolidated report; ``report.decisions`` holds the
-        latest decision per correct node for the configured General.
+        latest decision per correct node for the configured General.  The
+        run converges when every non-retired correct node's **current
+        incarnation** has decided -- a node killed and respawned mid-run
+        must re-decide before the parent sends stop.
         """
         if not self._started:
             self._start_children()
@@ -591,61 +1029,103 @@ class SocketCluster:
             correct_ids=list(self.correct_ids),
             byzantine_ids=list(self.byzantine_ids),
         )
+        self._report = report
+        results = self._results
         wall_deadline = (
             time.monotonic()
             + self._startup_grace_s
             + self.timeout_units * self.time_scale
             + 5.0
         )
-        pending = dict(self.conns)
-        results: dict[int, dict] = {}
-        stopped = False
-        while pending and time.monotonic() < wall_deadline:
-            if not stopped and all(
-                node_id in report.decisions for node_id in self.correct_ids
-            ):
+        while time.monotonic() < wall_deadline:
+            if self._driver is not None:
+                self._driver.pump()
+            self._pump_supervisor()
+            if not self._stop_sent and self._all_decided(report):
                 self._send_stop()
-                stopped = True
+                self._stop_sent = True
+            waitable = {
+                node_id: conn
+                for node_id, conn in self.conns.items()
+                if node_id not in results
+            }
+            if not waitable:
+                if not self._down and not self._awaiting_port:
+                    break
+                time.sleep(0.02)
+                continue
             ready = multiprocessing.connection.wait(
-                list(pending.values()), timeout=0.05
+                list(waitable.values()), timeout=0.05
             )
             for conn in ready:
-                node_id = next(i for i, c in pending.items() if c is conn)
-                try:
-                    msg = conn.recv()
-                except (EOFError, OSError):
-                    del pending[node_id]
+                node_id = next(i for i, c in waitable.items() if c is conn)
+                msg = self._safe_recv(node_id, conn)
+                if msg is None:
                     continue
-                if msg[0] == "decision":
-                    _tag, sender_id, decision = msg
-                    if decision.general == self.general and sender_id in self.correct_ids:
-                        held = report.decisions.get(sender_id)
-                        if held is None or decision.returned_real > held.returned_real:
-                            report.decisions[sender_id] = decision
-                elif msg[0] == "result":
-                    _tag, sender_id, payload = msg
-                    results[sender_id] = payload
-                    del pending[node_id]
-        if not stopped:
+                self._dispatch(report, results, node_id, conn, msg)
+        if not self._stop_sent:
             self._send_stop()
+            self._stop_sent = True
         # Late results from children that were still tearing down.
         late_deadline = time.monotonic() + 5.0
-        while pending and time.monotonic() < late_deadline:
+        while time.monotonic() < late_deadline:
+            waitable = {
+                node_id: conn
+                for node_id, conn in self.conns.items()
+                if node_id not in results
+            }
+            if not waitable:
+                break
             ready = multiprocessing.connection.wait(
-                list(pending.values()), timeout=0.1
+                list(waitable.values()), timeout=0.1
             )
             for conn in ready:
-                node_id = next(i for i, c in pending.items() if c is conn)
-                try:
-                    msg = conn.recv()
-                except (EOFError, OSError):
-                    del pending[node_id]
+                node_id = next(i for i, c in waitable.items() if c is conn)
+                msg = self._safe_recv(node_id, conn)
+                if msg is None:
                     continue
-                if msg[0] == "result":
-                    results[node_id] = msg[2]
-                    del pending[node_id]
+                self._dispatch(report, results, node_id, conn, msg)
         self._collect(report, results)
         return report
+
+    def _all_decided(self, report: SocketRunReport) -> bool:
+        decided_any = False
+        for node_id in self.correct_ids:
+            if node_id in self._retired:
+                continue
+            if node_id not in report.decisions:
+                return False
+            if self._decided_incarnation.get(node_id, 0) != self._incarnations[
+                node_id
+            ]:
+                return False
+            decided_any = True
+        return decided_any
+
+    def _dispatch(
+        self,
+        report: SocketRunReport,
+        results: dict[int, dict],
+        node_id: int,
+        conn,
+        msg: tuple,
+    ) -> None:
+        tag = msg[0]
+        if tag == "decision":
+            _tag, sender_id, decision = msg
+            if decision.general == self.general and sender_id in self.correct_ids:
+                held = report.decisions.get(sender_id)
+                if held is None or decision.returned_real > held.returned_real:
+                    report.decisions[sender_id] = decision
+                self._decided_incarnation[sender_id] = self._incarnations.get(
+                    sender_id, 0
+                )
+        elif tag == "result":
+            _tag, sender_id, payload = msg
+            results[sender_id] = payload
+        elif tag == "port":
+            _tag, reported_id, port = msg
+            self._complete_rejoin(reported_id, port)
 
     def _send_stop(self) -> None:
         for conn in self.conns.values():
@@ -655,6 +1135,12 @@ class SocketCluster:
                 pass
 
     def _collect(self, report: SocketRunReport, results: dict[int, dict]) -> None:
+        """Merge per-node results; a missing or damaged result degrades to a
+        structured ``exit_reason``, never a parent exception.
+
+        Counters cover each node's **final** incarnation only: a killed
+        incarnation's heap -- counters included -- died with it.
+        """
         tracer = Tracer(enabled=self.trace)
         merged_events = []
         for node_id, payload in results.items():
@@ -662,6 +1148,7 @@ class SocketCluster:
             report.delivered_count += payload["delivered"]
             report.dropped_count += payload["dropped"]
             report.rejected_count += payload["rejected"]
+            report.rejected_by_node[node_id] = payload["rejected"]
             report.live_timers[node_id] = payload["live_timers"]
             report.timers_at_close[node_id] = payload["timers_at_close"]
             for decision in payload["decisions"]:
@@ -684,7 +1171,20 @@ class SocketCluster:
         report.tracer = tracer
         self.close()
         for node_id, proc in self.procs.items():
-            report.exit_codes[node_id] = proc.exitcode
+            code = proc.exitcode
+            report.exit_codes[node_id] = code
+            report.restart_counts[node_id] = self._restarts[node_id]
+            if node_id in self._retired:
+                reason = self._exit_reason.get(node_id, "retired")
+                if reason == "ok":
+                    reason = "no_result"
+                report.exit_reasons[node_id] = f"retired:{reason}"
+            elif node_id in results:
+                report.exit_reasons[node_id] = self._reason_from_exitcode(code)
+            elif code == 0:
+                report.exit_reasons[node_id] = "no_result"
+            else:
+                report.exit_reasons[node_id] = self._reason_from_exitcode(code)
         missing = [i for i in self.procs if i not in results]
         for node_id in missing:
             report.live_timers.setdefault(node_id, -1)
@@ -697,6 +1197,16 @@ class SocketCluster:
         if self._closed:
             return
         self._closed = True
+        # Wake any SIGSTOP'd children first: a stopped process cannot honour
+        # the cooperative stop and would eat the full join timeout.
+        for node_id in list(self._stopped_procs):
+            proc = self.procs.get(node_id)
+            if proc is not None and proc.is_alive() and proc.pid is not None:
+                try:
+                    os.kill(proc.pid, signal.SIGCONT)
+                except (ProcessLookupError, OSError):
+                    pass
+        self._stopped_procs.clear()
         self._send_stop()
         for proc in self.procs.values():
             proc.join(timeout=5.0)
@@ -734,6 +1244,12 @@ def run_agreement_socket(
     trace: bool = False,
     timeout_units: Optional[float] = None,
     policy: Optional[DeliveryPolicy] = None,
+    supervise: bool = False,
+    fault_script: object = None,
+    scramble_on_restart: bool = False,
+    restart_budget: int = 3,
+    restart_backoff_s: float = 0.25,
+    repropose_every_d: Optional[float] = None,
 ) -> tuple[SocketRunReport, dict[int, Decision]]:
     """Spawn a socket cluster, run one agreement, tear every process down.
 
@@ -752,6 +1268,12 @@ def run_agreement_socket(
         value=value,
         general=general,
         timeout_units=timeout_units,
+        supervise=supervise,
+        fault_script=fault_script,
+        scramble_on_restart=scramble_on_restart,
+        restart_budget=restart_budget,
+        restart_backoff_s=restart_backoff_s,
+        repropose_every_d=repropose_every_d,
     )
     try:
         report = cluster.run_agreement()

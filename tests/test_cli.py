@@ -118,7 +118,7 @@ class TestSuite:
     def test_csv_output(self, capsys):
         assert main(["suite", "--preset", "smoke", "--csv"]) == 0
         out = capsys.readouterr().out
-        assert out.splitlines()[0].startswith("n,f,cast,policy,timeline")
+        assert out.splitlines()[0].startswith("n,f,backend,cast,policy,timeline")
 
     def test_config_file(self, capsys, tmp_path):
         import json

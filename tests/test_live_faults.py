@@ -1,0 +1,339 @@
+"""Live fault injection: drivers, drop matrix, scramble parity, chaos e2e.
+
+Covers the wall-clock side of the fault-script story:
+
+* :func:`~repro.faults.live.validate_live_script` rejects sim-only actions
+  and unresolvable policy names *before* a run starts.
+* The sender-side drop matrix on :class:`~repro.runtime.aio.
+  AsyncioTransport` -- isolate/reconnect, partition/heal (stacked cuts
+  included) -- attributes suppressed copies to ``dropped_fault_count``.
+* The sim timeline's ``Restart(scramble=True)`` and the live helpers
+  (:func:`crash_in_process` / :func:`restart_in_process`) are the *same*
+  implementation: applied to identical clusters with identically-derived
+  randomness they produce bit-identical post-restart protocol state.
+* The chaos runner end to end: SIGKILL a node mid-agreement with full
+  state loss, the supervisor respawns it with scrambled state, and every
+  node -- the revenant included -- converges on the agreed value with a
+  clean teardown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.faults.byzantine import CrashStrategy
+from repro.faults.live import (
+    LIVE_POLICY_BUILDERS,
+    build_live_policy,
+    crash_in_process,
+    restart_in_process,
+    run_chaos_agreement,
+    validate_live_script,
+)
+from repro.faults.timeline import (
+    Crash,
+    FaultScript,
+    Havoc,
+    Heal,
+    Partition,
+    Restart,
+    SwapPolicy,
+    SwapStrategy,
+)
+from repro.faults.transient import TransientFaultInjector, wipe_protocol_state
+from repro.harness.scenario import Cluster, ScenarioConfig
+from repro.net.delivery import FixedDelay
+from repro.runtime.aio import AsyncioTransport
+from repro.sim.rand import RandomSource
+
+PARAMS = ProtocolParams(n=4, f=1, delta=1.0, rho=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Pre-run validation
+# ---------------------------------------------------------------------------
+class TestValidateLiveScript:
+    def test_accepts_the_live_supported_actions(self) -> None:
+        script = FaultScript(
+            (
+                Crash(at_d=1.0, nodes=(2,), state_loss=True),
+                Restart(at_d=2.0, nodes=(2,), scramble=True),
+                Partition(at_d=3.0, island=frozenset({0, 1})),
+                Heal(at_d=4.0),
+                SwapPolicy(at_d=5.0, policy="fast"),
+            )
+        )
+        validate_live_script(script, backend="socket")
+        validate_live_script(script, backend="asyncio")
+
+    def test_rejects_swap_strategy(self) -> None:
+        script = FaultScript(
+            (SwapStrategy(at_d=1.0, node=3, strategy=CrashStrategy()),)
+        )
+        with pytest.raises(ValueError, match="sim only"):
+            validate_live_script(script)
+
+    def test_rejects_havoc(self) -> None:
+        with pytest.raises(ValueError, match="sim only"):
+            validate_live_script(FaultScript((Havoc(at_d=1.0),)))
+
+    def test_rejects_policy_factories(self) -> None:
+        script = FaultScript(
+            (SwapPolicy(at_d=1.0, policy=lambda cluster: FixedDelay(0.0)),)
+        )
+        with pytest.raises(ValueError, match="must name a registered policy"):
+            validate_live_script(script)
+
+    def test_rejects_unknown_policy_names(self) -> None:
+        script = FaultScript((SwapPolicy(at_d=1.0, policy="nope"),))
+        with pytest.raises(ValueError, match="unknown live policy"):
+            validate_live_script(script)
+
+    def test_every_registered_policy_builds(self) -> None:
+        for name in LIVE_POLICY_BUILDERS:
+            policy = build_live_policy(name, PARAMS, lambda: 0.0)
+            decision = policy.decide(0, 1, "payload", RandomSource(7, "probe"))
+            assert decision.delay >= 0.0
+
+    def test_restart_spec_roundtrips_scramble_fields(self) -> None:
+        """The JSON spec form carries the new scramble knobs unchanged."""
+        script = FaultScript.from_spec(
+            [
+                {"do": "crash", "at_d": 1.0, "nodes": [2], "state_loss": True},
+                {
+                    "do": "restart",
+                    "at_d": 2.0,
+                    "nodes": [2],
+                    "scramble": True,
+                    "value_pool": ["A", "B"],
+                    "generals": [0],
+                },
+            ]
+        )
+        restart = script.actions[1]
+        assert restart.scramble is True
+        assert restart.value_pool == ("A", "B")
+        assert restart.generals == (0,)
+        validate_live_script(script)
+
+
+# ---------------------------------------------------------------------------
+# Sender-side drop matrix (asyncio transport; the socket one shares the code)
+# ---------------------------------------------------------------------------
+async def _mini_fabric(n: int = 3):
+    transport = AsyncioTransport(
+        time_scale=0.001,
+        policy=FixedDelay(0.0),
+        rand=RandomSource(5, "net"),
+    )
+    inboxes = {i: [] for i in range(n)}
+    for i in range(n):
+        transport.register(i, inboxes[i].append)
+    return transport, inboxes
+
+
+def _payloads(inbox) -> list:
+    return [(e.sender, e.payload) for e in inbox]
+
+
+class TestDropMatrix:
+    def test_isolate_suppresses_both_directions(self) -> None:
+        async def body() -> None:
+            transport, inboxes = await _mini_fabric()
+            transport.isolate([2])
+            transport.send(0, 2, "to-isolated")
+            transport.send(2, 0, "from-isolated")
+            transport.send(0, 1, "between-connected")
+            await asyncio.sleep(0.02)
+            assert _payloads(inboxes[2]) == []
+            assert _payloads(inboxes[0]) == []
+            assert _payloads(inboxes[1]) == [(0, "between-connected")]
+            assert transport.dropped_fault_count == 2
+            transport.reconnect([2])
+            transport.send(0, 2, "after-reconnect")
+            await asyncio.sleep(0.02)
+            assert _payloads(inboxes[2]) == [(0, "after-reconnect")]
+            assert transport.dropped_fault_count == 2
+
+        asyncio.run(body())
+
+    def test_partition_cuts_cross_island_only_and_heals(self) -> None:
+        async def body() -> None:
+            transport, inboxes = await _mini_fabric()
+            transport.set_partition(frozenset({0}))
+            transport.send(0, 1, "cross-cut")
+            transport.send(1, 2, "same-side")
+            await asyncio.sleep(0.02)
+            assert _payloads(inboxes[1]) == []
+            assert _payloads(inboxes[2]) == [(1, "same-side")]
+            assert transport.dropped_fault_count == 1
+            transport.heal_partitions()
+            transport.send(0, 1, "after-heal")
+            await asyncio.sleep(0.02)
+            assert _payloads(inboxes[1]) == [(0, "after-heal")]
+
+        asyncio.run(body())
+
+    def test_heal_unwraps_stacked_partitions(self) -> None:
+        async def body() -> None:
+            transport, inboxes = await _mini_fabric()
+            base = transport.policy
+            transport.set_partition(frozenset({0}))
+            transport.set_partition(frozenset({2}))
+            transport.send(0, 1, "x")
+            transport.send(1, 2, "y")
+            await asyncio.sleep(0.02)
+            assert _payloads(inboxes[1]) == []
+            assert _payloads(inboxes[2]) == []
+            transport.heal_partitions()
+            assert transport.policy is base, "heal must unwrap the whole stack"
+            transport.broadcast(1, "wave")
+            await asyncio.sleep(0.02)
+            for inbox in inboxes.values():
+                assert (1, "wave") in _payloads(inbox)
+
+        asyncio.run(body())
+
+
+# ---------------------------------------------------------------------------
+# One scramble implementation: sim timeline vs live helpers, differentially
+# ---------------------------------------------------------------------------
+def _node_state_snapshot(node) -> tuple:
+    """The protocol variables both crash/restart paths are supposed to touch."""
+    insts = []
+    for general in sorted(node.instances):
+        inst = node.instances[general]
+        insts.append(
+            (
+                general,
+                inst.tau_g,
+                inst.accepted_value,
+                inst.stopped,
+                inst.returned_at,
+                inst.ia.last_g,
+                sorted(inst.ia.last_gm),
+                inst.mb.anchor,
+            )
+        )
+    return (
+        tuple(insts),
+        node._last_initiation,
+        sorted(node._last_initiation_by_value.items()),
+        node._failed_initiation_at,
+    )
+
+
+class TestScrambleParity:
+    # Non-integer offsets keep the fault instants clear of the cleanup
+    # ticks (armed at construction, firing on integer multiples of d), so
+    # both clusters see the exact same event order.
+    CRASH_AT = 1.25
+    RESTART_AT = 2.25
+
+    def test_timeline_restart_equals_live_helpers(self) -> None:
+        """Crash+scrambled-Restart via the sim timeline == the live helpers.
+
+        Two identical sim clusters; on one the script fires through
+        ``FaultScript.install``, on the other :func:`crash_in_process` and
+        :func:`restart_in_process` (what the asyncio driver calls) are
+        applied by hand with the identically-derived injector stream.  The
+        post-restart protocol state must match bit for bit -- there is one
+        scramble implementation, not two drifting copies.
+        """
+        script = FaultScript(
+            (
+                Crash(at_d=self.CRASH_AT, nodes=(2,), state_loss=True),
+                Restart(
+                    at_d=self.RESTART_AT,
+                    nodes=(2,),
+                    scramble=True,
+                    value_pool=("A", "B"),
+                    generals=(0,),
+                ),
+            )
+        )
+        scripted = Cluster(ScenarioConfig(params=PARAMS, seed=7))
+        script.install(scripted)
+        scripted.run_for(self.RESTART_AT + 0.25)
+
+        manual = Cluster(ScenarioConfig(params=PARAMS, seed=7))
+        node = manual.nodes[2]
+        manual.run_for(self.CRASH_AT)
+        crash_in_process(node, state_loss=True)
+        assert node.instances == {} and node._last_initiation is None
+        manual.run_for(self.RESTART_AT - self.CRASH_AT)
+        injector = TransientFaultInjector(
+            PARAMS,
+            manual.rng.split(f"timeline/restart/1@{self.RESTART_AT!r}"),
+            value_pool=["A", "B"],
+            generals=[0],
+        )
+        restart_in_process(node, injector)
+        manual.run_for(0.25)
+
+        assert _node_state_snapshot(scripted.nodes[2]) == _node_state_snapshot(
+            manual.nodes[2]
+        )
+
+    def test_wipe_protocol_state_is_total(self) -> None:
+        cluster = Cluster(ScenarioConfig(params=PARAMS, seed=1))
+        node = cluster.nodes[1]
+        cluster.run_for(2.0)
+        node.instance(0)
+        node._last_initiation = 1.5
+        node._last_initiation_by_value["v"] = 1.5
+        node._failed_initiation_at = 1.0
+        wipe_protocol_state(node)
+        assert node.instances == {}
+        assert node._last_initiation is None
+        assert node._last_initiation_by_value == {}
+        assert node._failed_initiation_at is None
+
+    def test_restart_without_crash_is_a_noop(self) -> None:
+        cluster = Cluster(ScenarioConfig(params=PARAMS, seed=1))
+        node = cluster.nodes[1]
+        before = node.live_timer_count()
+        restart_in_process(node)  # not crashed: must not double the cleanup tick
+        assert node.live_timer_count() == before
+
+
+# ---------------------------------------------------------------------------
+# Chaos end to end: kill, heal, re-converge, clean teardown
+# ---------------------------------------------------------------------------
+class TestChaosSmoke:
+    HARD_TIMEOUT_S = 300  # a wedged run must fail loudly, not hang the suite
+
+    def test_n4_f1_kill_and_reconverge(self) -> None:
+        signal.alarm(self.HARD_TIMEOUT_S)
+        try:
+            chaos = run_chaos_agreement(
+                n=4, f=1, seed=0, value="v", time_scale=0.02
+            )
+        finally:
+            signal.alarm(0)
+        report = chaos.report
+        assert chaos.agreed, f"not all correct nodes agreed: {report.decisions}"
+        assert chaos.converged, "the agreed value is not the proposed one"
+        assert chaos.victims_recovered, (
+            f"victims {chaos.victims} did not re-decide after their kill: "
+            f"restarts={report.restart_counts} decisions={report.decisions}"
+        )
+        assert chaos.recovery_latency_d is not None
+        assert chaos.recovery_latency_d <= chaos.recovery_bound_d
+        for victim in chaos.victims:
+            assert report.restart_counts.get(victim, 0) >= 1
+        assert all(why == "ok" for why in report.exit_reasons.values()), (
+            f"exit reasons: {report.exit_reasons}"
+        )
+        assert report.clean_exit, (
+            f"exit_codes={report.exit_codes} live_timers={report.live_timers}"
+        )
+        assert chaos.ok
+
+    def test_general_cannot_be_a_victim(self) -> None:
+        with pytest.raises(ValueError, match="General"):
+            run_chaos_agreement(n=4, f=1, general=0, victims=[0])

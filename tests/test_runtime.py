@@ -357,6 +357,30 @@ async def contract_trace_attribution_survives_interleaved_sends(h) -> None:
     )
 
 
+async def contract_close_then_respawn_starts_fresh(h) -> None:
+    """The supervisor's restart model, at the host-contract level.
+
+    Closing a host kills its incarnation for good: its registry drains and
+    it keeps refusing timers even after a *new* host for the same node id
+    exists.  The respawned incarnation starts with an empty registry and
+    arms timers normally -- nothing leaks across incarnations.
+    """
+    old = h.make_host(0)
+    fired: list[str] = []
+    old.schedule_after(1.0, lambda: fired.append("old"))
+    old.close()
+    assert old.live_timer_count() == 0, "close() must drain the registry"
+    fresh = h.make_host(0)  # the respawned incarnation
+    stale = old.schedule_after(0.5, lambda: fired.append("stale"))
+    assert not stale.alive, "a dead incarnation must keep refusing timers"
+    assert fresh.live_timer_count() == 0, "a respawn must start fresh"
+    live = fresh.schedule_after(1.0, lambda: fired.append("fresh"))
+    assert live.alive
+    await h.drive(3.0)
+    assert fired == ["fresh"], "only the new incarnation's timers may fire"
+    assert fresh.live_timer_count() == 0
+
+
 CONTRACTS = [
     contract_monotonic_now,
     contract_timers_fire_in_deadline_order,
@@ -372,6 +396,7 @@ CONTRACTS = [
     contract_cancel_is_idempotent,
     contract_broadcast_one_copy_per_node_exactly,
     contract_trace_attribution_survives_interleaved_sends,
+    contract_close_then_respawn_starts_fresh,
 ]
 CONTRACT_IDS = [fn.__name__.removeprefix("contract_") for fn in CONTRACTS]
 
