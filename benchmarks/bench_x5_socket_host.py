@@ -45,13 +45,19 @@ def _one_agreement(seed: int, time_scale: float) -> dict:
     assert len(decided) == len(report.correct_ids), "bench run failed to agree"
     assert {d.value for d in decided} == {"bench"}
     assert report.clean_exit, "bench run leaked timers or children"
+    # Coalescing must never cost correctness: every datagram the lean wire
+    # path emits (BATCH or single) has to authenticate and decode cleanly.
+    assert report.rejected_count == 0, (
+        f"bench run rejected {report.rejected_count} frame(s)"
+    )
     return {
         "seed": seed,
         "time_scale_s": time_scale,
         "wall_s": wall_s,
         "last_return_local": max(d.returned_local for d in decided),
-        "datagrams_sent": report.sent_count,
-        "datagrams_delivered": report.delivered_count,
+        "messages_sent": report.sent_count,
+        "datagrams_sent": report.datagrams_sent,
+        "messages_delivered": report.delivered_count,
         "frames_rejected": report.rejected_count,
     }
 

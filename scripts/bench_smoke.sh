@@ -66,8 +66,9 @@ else
 fi
 
 echo
-echo "== benchmark smoke (kernel micro-benchmarks + asyncio/socket/chaos latency) =="
-python -m pytest benchmarks/bench_perf_kernel.py benchmarks/bench_x4_asyncio_host.py \
+echo "== benchmark smoke (kernel + wire micro-benchmarks + asyncio/socket/chaos latency) =="
+python -m pytest benchmarks/bench_perf_kernel.py benchmarks/bench_wire.py \
+    benchmarks/bench_x4_asyncio_host.py \
     benchmarks/bench_x5_socket_host.py benchmarks/bench_x6_chaos.py --benchmark-only -q
 
 echo
@@ -95,6 +96,12 @@ required = (
     "e1_small_end_to_end",
     "e5_small_end_to_end",
     "e9_small_end_to_end",
+    "wire_batch_pipeline",
+    "wire_codec_encode",
+    "wire_codec_decode",
+    "wire_hmac_seal",
+    "wire_coalesce",
+    "wire_socket_pingpong",
     "x4_asyncio_host",
     "x5_socket_host",
     "x6_chaos",
@@ -109,10 +116,13 @@ if msglog < 3.0:
 evaluator = results["kernel_evaluator_push"]["speedup_vs_reference"]
 if evaluator < 3.0:
     sys.exit(f"push evaluator regressed: {evaluator:.2f}x < 3x vs reference")
+wire = results["wire_batch_pipeline"]["speedup_vs_reference"]
+if wire < 3.0:
+    sys.exit(f"lean wire path regressed: {wire:.2f}x < 3x vs JSON reference")
 
 print(
     f"ok: {len(results)} results; msglog {msglog:.1f}x, "
-    f"evaluator {evaluator:.1f}x vs reference"
+    f"evaluator {evaluator:.1f}x, wire {wire:.1f}x vs reference"
 )
 EOF
 
@@ -131,26 +141,32 @@ THROUGHPUT_KEYS = (
     "arrivals_per_s",
     "messages_per_s",
     "events_per_s",
+    "frames_per_s",
+    "seals_per_s",
+    "mb_per_s",
 )
 # speedup_vs_reference ratios are machine-independent and always compared;
 # absolute throughputs are only comparable against a baseline from the same
-# kind of machine.
+# kind of machine.  Provenance is judged PER ROW (results merge across
+# partial runs, so a file's header machine block can differ from the
+# machine a given row was actually recorded on).
 RATIO_KEYS = ("speedup_vs_reference",)
 
 old_doc = json.loads(Path(os.environ["BASELINE"]).read_text())
 new_doc = json.loads(Path("BENCH_perf.json").read_text())
 old, new = old_doc["results"], new_doc["results"]
-same_machine = old_doc.get("machine") == new_doc.get("machine")
-if not same_machine:
-    print(
-        "  (baseline recorded on a different machine: "
-        "comparing machine-independent speedup ratios only)"
-    )
+
+def row_machine(result, doc):
+    return result.get("machine", doc.get("machine"))
 
 failures = []
+cross_machine = []
 for name, old_result in old.items():
     if old_result.get("kind") != "kernel" or name not in new:
         continue
+    same_machine = row_machine(old_result, old_doc) == row_machine(new[name], new_doc)
+    if not same_machine:
+        cross_machine.append(name)
     keys = THROUGHPUT_KEYS + RATIO_KEYS if same_machine else RATIO_KEYS
     for key in keys:
         if key in old_result and key in new[name]:
@@ -160,6 +176,11 @@ for name, old_result in old.items():
             print(f"  {name}.{key}: {before:,.1f} -> {after:,.1f} ({ratio:.2f}x){marker}")
             if ratio < 1.0 - ALLOWED_DROP:
                 failures.append(f"{name}.{key} dropped to {ratio:.2f}x of baseline")
+if cross_machine:
+    print(
+        "  (baseline rows recorded on a different machine, ratio-only "
+        "comparison: " + ", ".join(sorted(cross_machine)) + ")"
+    )
 if failures:
     sys.exit("kernel benchmark regression(s): " + "; ".join(failures))
 print("no kernel regression beyond the 20% noise allowance")

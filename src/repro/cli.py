@@ -124,6 +124,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="wall-clock seconds per protocol time unit (default: 0.02)",
     )
+    run_async.add_argument(
+        "--codec",
+        choices=("msgpack", "json"),
+        default=None,
+        help="wire codec (default: msgpack; json is the no-dependency fallback)",
+    )
+    run_async.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="run the event loop on uvloop (fails if uvloop is not installed)",
+    )
 
     run_socket = sub.add_parser(
         "run-socket",
@@ -149,6 +160,18 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="hard per-child deadline in protocol units (default: 3 * Delta_agr)",
+    )
+    run_socket.add_argument(
+        "--codec",
+        choices=("msgpack", "json"),
+        default=None,
+        help="wire codec (default: msgpack; json is the no-dependency fallback)",
+    )
+    run_socket.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="node children run their event loops on uvloop "
+        "(fails if uvloop is not installed)",
     )
 
     chaos = sub.add_parser(
@@ -208,6 +231,12 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.1,
         help="supervisor base backoff before a respawn (default: 0.1s)",
+    )
+    chaos.add_argument(
+        "--codec",
+        choices=("msgpack", "json"),
+        default=None,
+        help="wire codec (default: msgpack; json is the no-dependency fallback)",
     )
     chaos.add_argument("--trace", action="store_true", help="record child traces")
 
@@ -426,7 +455,11 @@ def _wallclock_verdict(
 def cmd_run_async(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.runtime.aio import DEFAULT_TIME_SCALE, run_agreement_async
+    from repro.runtime.aio import (
+        DEFAULT_TIME_SCALE,
+        install_uvloop,
+        run_agreement_async,
+    )
 
     params = _params(args)
     general = args.general
@@ -436,6 +469,13 @@ def cmd_run_async(args: argparse.Namespace) -> int:
         )
     except SystemExit as exc:
         return int(exc.code)
+
+    if args.uvloop:
+        try:
+            install_uvloop(strict=True)
+        except RuntimeError as exc:
+            print(f"run-async: {exc}", file=sys.stderr)
+            return 2
 
     time_scale = args.time_scale if args.time_scale is not None else DEFAULT_TIME_SCALE
     cluster, decisions = asyncio.run(
@@ -449,6 +489,7 @@ def cmd_run_async(args: argparse.Namespace) -> int:
             time_scale=time_scale,
             delta=args.delta,
             rho=args.rho,
+            codec=args.codec,
         )
     )
 
@@ -489,6 +530,8 @@ def cmd_run_socket(args: argparse.Namespace) -> int:
         delta=args.delta,
         rho=args.rho,
         timeout_units=args.timeout_units,
+        codec=args.codec,
+        uvloop=args.uvloop,
     )
 
     leaked = {i: c for i, c in report.live_timers.items() if c != 0}
@@ -530,6 +573,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             trace=args.trace,
             delta=args.delta,
             rho=args.rho,
+            codec=args.codec,
         )
     except ValueError as exc:
         print(f"chaos: {exc}", file=sys.stderr)

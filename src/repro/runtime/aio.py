@@ -43,12 +43,36 @@ from repro.net.delivery import (
 )
 from repro.net.network import Envelope
 from repro.runtime.api import INERT_TIMER, Action, TimerHandle, TimerRegistry
-from repro.runtime.framing import FrameError, decode_frame, derive_key, encode_frame
+from repro.runtime.framing import (
+    FrameBatcher,
+    FrameEncoder,
+    FrameError,
+    decode_frames,
+    derive_key,
+)
 from repro.sim.rand import RandomSource
 from repro.sim.trace import Tracer
 
 #: Default wall-clock seconds per protocol time unit (d = 20 ms).
 DEFAULT_TIME_SCALE = 0.02
+
+
+def install_uvloop(strict: bool = False) -> bool:
+    """Install uvloop as the event-loop policy if it is importable.
+
+    Opt-in acceleration: call before ``asyncio.run``.  Returns ``True`` on
+    success; with ``strict`` a missing uvloop raises instead of returning
+    ``False``, so ``--uvloop`` on the CLI fails loudly rather than silently
+    running the default loop.
+    """
+    try:
+        import uvloop  # type: ignore
+    except ImportError:
+        if strict:
+            raise RuntimeError("uvloop requested but not installed")
+        return False
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    return True
 
 
 class AioTimerHandle:
@@ -88,6 +112,12 @@ class AsyncioTransport:
     delivery, so the asyncio backend exercises serialization and frame
     authentication even though it never leaves the process.  Frames that
     fail to decode are counted in ``rejected_count`` and dropped.
+
+    With ``coalesce`` on (the default), copies whose delivery timers land
+    in the same loop tick are packed into one BATCH frame per (receiver,
+    sender) run and decoded together -- the same datagram coalescing the
+    socket backend puts on the wire, here exercised in-process so the
+    conformance suite covers the batch path on every backend run.
     """
 
     def __init__(
@@ -97,7 +127,8 @@ class AsyncioTransport:
         rand: Optional[RandomSource] = None,
         tracer: Optional[Tracer] = None,
         auth_key: Optional[bytes] = None,
-        codec: str = "json",
+        codec: Optional[str] = None,
+        coalesce: bool = True,
     ) -> None:
         if time_scale <= 0:
             raise ValueError(f"time_scale must be positive, got {time_scale!r}")
@@ -105,7 +136,11 @@ class AsyncioTransport:
         self.epoch = self.loop.time()
         self.time_scale = time_scale
         self.auth_key = auth_key if auth_key is not None else derive_key("aio-transport")
-        self.codec = codec
+        self._encoder = FrameEncoder(self.auth_key, codec)
+        self.codec = self._encoder.codec
+        self.coalesce = coalesce
+        self._batcher = FrameBatcher(self._encoder, self._transmit)
+        self._flush_scheduled = False
         self._policy = policy
         self._rand = rand if rand is not None else RandomSource(0, "aio/net")
         self._tracer = tracer
@@ -116,6 +151,10 @@ class AsyncioTransport:
         self.delivered_count = 0
         self.dropped_count = 0
         self.rejected_count = 0
+        #: Decode units emitted into the fabric -- one per datagram the
+        #: socket backend would put on the wire.  With coalescing this is
+        #: <= sent_count - dropped; the gap is the batching win.
+        self.datagrams_sent = 0
         #: Copies suppressed by injected link faults (partition cuts and
         #: isolation) -- kept separate from ordinary policy drops so live
         #: runs can attribute loss to its cause, like the sim network does.
@@ -189,26 +228,22 @@ class AsyncioTransport:
     def send(self, sender: int, receiver: int, payload: object) -> None:
         if receiver not in self._receivers:
             raise ValueError(f"unknown receiver {receiver}")
-        self._send_copy(sender, receiver, payload, self._encode(sender, payload))
+        body = self._encoder.encode_body(payload, self.now())
+        self._send_copy(sender, receiver, payload, body)
 
     def broadcast(self, sender: int, payload: object) -> None:
         """n point-to-point copies, one per registered node (self included).
 
-        The frame is encoded and HMAC'd **once** for the whole wave (one
+        The envelope body is encoded **once** for the whole wave (one
         ``sent_at`` stamp, as the sim network stamps a broadcast once);
         only the per-copy policy draw and delivery timer differ.
         """
-        frame = self._encode(sender, payload)
+        body = self._encoder.encode_body(payload, self.now())
         for receiver in self.node_ids:
-            self._send_copy(sender, receiver, payload, frame)
-
-    def _encode(self, sender: int, payload: object) -> bytes:
-        return encode_frame(
-            sender, payload, self.auth_key, sent_at=self.now(), codec=self.codec
-        )
+            self._send_copy(sender, receiver, payload, body)
 
     def _send_copy(
-        self, sender: int, receiver: int, payload: object, frame: bytes
+        self, sender: int, receiver: int, payload: object, body: bytes
     ) -> None:
         self.sent_count += 1
         tracer = self._tracer
@@ -232,38 +267,75 @@ class AsyncioTransport:
                     self.dropped_fault_count += 1
                 return
             delay_units = decision.delay
-        self.loop.call_later(
-            delay_units * self.time_scale,
-            self._deliver_frame,
-            receiver,
-            frame,
-        )
+        if delay_units > 0.0:
+            self.loop.call_later(
+                delay_units * self.time_scale,
+                self._enqueue,
+                receiver,
+                sender,
+                body,
+            )
+        else:
+            self._enqueue(receiver, sender, body)
 
-    def _deliver_frame(self, receiver: int, frame_bytes: bytes) -> None:
+    def _enqueue(self, receiver: int, sender: int, body: bytes) -> None:
+        """A copy's delivery timer fired: queue it for the tick's flush.
+
+        Coalescing happens here, not at send time -- only copies whose
+        *delivery* moments coincide share a datagram, so the policy's drawn
+        delays still govern arrival order exactly as before.
+        """
+        if not self.coalesce:
+            self._transmit(receiver, self._encoder.frame(sender, body), 1)
+            return
+        self._batcher.add(receiver, sender, body)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.loop.call_soon(self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        self._batcher.flush()
+
+    def _transmit(self, receiver: int, frame_buf, count: int) -> None:
+        """Decode one datagram immediately; deliver its frames next tick.
+
+        Decode happens here because ``frame_buf`` is the encoder's reused
+        buffer (invalid after the next frame is built); delivery is
+        deferred so a receiver's reply sends never run synchronously
+        inside another node's ``send`` call.
+        """
+        self.datagrams_sent += 1
         try:
-            frame = decode_frame(frame_bytes, self.auth_key)
+            frames = decode_frames(frame_buf, self.auth_key)
         except FrameError:
             self.rejected_count += 1
             if self._tracer is not None:
                 self._tracer.bump("frame_rejected")
             return
-        sender, payload, sent_at = frame
-        self.delivered_count += 1
+        self.loop.call_soon(self._deliver_frames, receiver, frames)
+
+    def _deliver_frames(self, receiver: int, frames) -> None:
         now = self.now()
-        envelope = Envelope(
-            sender=sender,
-            receiver=receiver,
-            payload=payload,
-            sent_at=sent_at,
-            delivered_at=now,
-        )
         tracer = self._tracer
-        if tracer is not None:
-            if tracer.enabled:
-                tracer.record(now, receiver, "deliver", sender=sender, payload=payload)
-            else:
-                tracer.bump("deliver")
-        self._receivers[receiver](envelope)
+        receive = self._receivers[receiver]
+        for sender, payload, sent_at in frames:
+            self.delivered_count += 1
+            envelope = Envelope(
+                sender=sender,
+                receiver=receiver,
+                payload=payload,
+                sent_at=sent_at,
+                delivered_at=now,
+            )
+            if tracer is not None:
+                if tracer.enabled:
+                    tracer.record(
+                        now, receiver, "deliver", sender=sender, payload=payload
+                    )
+                else:
+                    tracer.bump("deliver")
+            receive(envelope)
 
 
 class AsyncioHost:
@@ -395,6 +467,7 @@ class AsyncioCluster:
         byzantine: Optional[dict] = None,
         policy: Optional[DeliveryPolicy] = None,
         trace: bool = False,
+        codec: Optional[str] = None,
     ) -> None:
         from repro.faults.byzantine import ByzantineNode
 
@@ -409,6 +482,7 @@ class AsyncioCluster:
             rand=self.rng.split("net"),
             tracer=self.tracer,
             auth_key=derive_key(f"aio-cluster/{seed}"),
+            codec=codec,
         )
         self.nodes: dict[int, object] = {}
         self.hosts: dict[int, AsyncioHost] = {}
@@ -522,6 +596,7 @@ async def run_agreement_async(
     delta: float = 1.0,
     rho: float = 0.0,
     trace: bool = False,
+    codec: Optional[str] = None,
 ) -> tuple[AsyncioCluster, dict[int, Decision]]:
     """Build an asyncio cluster, run one agreement, tear the timers down.
 
@@ -535,6 +610,7 @@ async def run_agreement_async(
         time_scale=time_scale,
         byzantine=byzantine,
         trace=trace,
+        codec=codec,
     )
     try:
         decisions = await cluster.run_agreement(general, value)
@@ -549,5 +625,6 @@ __all__ = [
     "AsyncioCluster",
     "AsyncioHost",
     "AsyncioTransport",
+    "install_uvloop",
     "run_agreement_async",
 ]

@@ -11,10 +11,11 @@ transports agree on the format byte for byte, and the hardening tests in
 Frame layout (big-endian)::
 
     magic   2 bytes   b"SB"
-    codec   1 byte    b"J" (json) or b"M" (msgpack, only if installed)
+    codec   1 byte    b"J"/b"M" single frame, b"j"/b"m" batch frame
     sender  4 bytes   claimed sender id
     length  4 bytes   body length in bytes (<= MAX_BODY_BYTES)
-    body    N bytes   codec({"t": sent_at, "p": <tagged payload>})
+    body    N bytes   single: codec({"t": sent_at, "p": <tagged payload>})
+                      batch:  1+ entries of [u16 sublen][single-frame body]
     tag     16 bytes  HMAC-SHA256(key, header || body), truncated
 
 The tag covers the header, so a frame with a forged ``sender`` fails
@@ -25,10 +26,26 @@ sender identity against *network-level* spoofing, which is the model's
 guarantee; it does not model key compromise (a Byzantine process holds the
 cluster key but only ever frames its own id through this API).
 
+A BATCH frame (lowercase codec byte) coalesces several messages from one
+sender to one receiver into a single datagram: one header, one tag, and
+``[u16 length][envelope]`` entries back to back.  The whole batch
+authenticates or none of it does, and a datagram whose interior is
+malformed is rejected wholesale -- partial delivery would break the
+per-sender FIFO contract the transports promise.
+
 Payloads are the protocol message dataclasses, scalars, tuples and the
 ``BOTTOM`` sentinel; anything else is refused at encode time rather than
-silently mangled.  msgpack is optional equipment -- the container may not
-ship it -- so the codec is negotiated per frame and JSON is the default.
+silently mangled.
+
+Two codecs share that payload model.  JSON is the no-dependency fallback;
+msgpack is the preferred codec and is *always* available: the C extension
+is used when installed, otherwise the vendored subset in
+:mod:`repro.runtime.mpack` produces interoperable bytes.  The hot path
+never builds the tagged tree at all -- per-message-class byte skeletons
+(:data:`_MSG_SKELETONS`) let :class:`FrameEncoder` pack dataclass fields
+straight into a preallocated ``bytearray``, and the HMAC is computed over
+a ``memoryview`` of that same buffer, so a steady-state send does zero
+intermediate ``bytes`` concatenations.
 """
 
 from __future__ import annotations
@@ -38,30 +55,43 @@ import hashlib
 import hmac
 import json
 import struct
-from typing import Any, NamedTuple
+from typing import Any, Callable, NamedTuple
 
 from repro.core.messages import ALL_MESSAGE_TYPES
 from repro.core.params import BOTTOM
+from repro.runtime import mpack
+from repro.runtime.mpack import MpackError
 
-try:  # optional: the image does not bake msgpack in; JSON is the default
+try:  # optional accelerator: the C extension decodes ~10x faster than mpack
     import msgpack  # type: ignore
 
     HAVE_MSGPACK = True
-except ImportError:  # pragma: no cover - exercised only without msgpack
+except ImportError:  # pragma: no cover - exercised on images without the wheel
     msgpack = None
     HAVE_MSGPACK = False
+
+#: Which implementation backs the msgpack codec ("c" extension or the
+#: vendored pure-Python subset).  The wire bytes mean the same thing either
+#: way; this only affects speed and is surfaced for diagnostics/benchmarks.
+MSGPACK_IMPL = "c" if HAVE_MSGPACK else "py"
 
 MAGIC = b"SB"
 CODEC_JSON = b"J"
 CODEC_MSGPACK = b"M"
+#: Batch (coalesced) frames reuse the codec letter in lowercase.
+CODEC_JSON_BATCH = b"j"
+CODEC_MSGPACK_BATCH = b"m"
 #: Bound on the encoded body.  Protocol messages are tens of bytes; the cap
 #: keeps every frame inside a single localhost UDP datagram with room to
 #: spare and turns a runaway payload into a loud error instead of silent
-#: fragmentation.
+#: fragmentation.  Batch frames obey the same cap on their *total* body, so
+#: coalescing never produces a datagram a single-frame peer could not.
 MAX_BODY_BYTES = 16384
 TAG_BYTES = 16
 _HEADER = struct.Struct(">2s c I I")
 HEADER_BYTES = _HEADER.size
+_HEADER_PLACEHOLDER = bytes(HEADER_BYTES)
+_BATCH_LEN = struct.Struct(">H")
 #: Smallest well-formed frame (empty body is still invalid JSON, but the
 #: *structural* minimum is header + tag).
 MIN_FRAME_BYTES = HEADER_BYTES + TAG_BYTES
@@ -153,6 +183,166 @@ def _from_wire(tree: Any) -> Any:
 
 
 # ---------------------------------------------------------------------------
+# Direct msgpack packing: dataclass fields -> wire bytes, no tree build
+# ---------------------------------------------------------------------------
+def _pack_prefix(*parts: Any) -> bytes:
+    buf = bytearray()
+    for part in parts:
+        if isinstance(part, int):
+            buf.append(part)
+        else:
+            mpack.pack_str_into(buf, part)
+    return bytes(buf)
+
+
+def _build_skeleton(cls: type) -> tuple[bytes, tuple[tuple[bytes, str], ...]]:
+    """Precompile the constant msgpack bytes of one message class.
+
+    ``{"__": "msg", "k": <name>, "f": {...}}`` is identical for every
+    instance except the field *values*, so the map headers, tag strings,
+    class name, and field-name keys collapse into constants built once at
+    import.  Packing an instance is then prefix + per-field key + value.
+    """
+    fields = dataclasses.fields(cls)
+    if len(fields) >= 16:  # pragma: no cover - message classes have <=4 fields
+        raise AssertionError(f"{cls.__name__} has too many fields for a fixmap")
+    prefix = _pack_prefix(0x83, "__", "msg", "k", cls.__name__, "f", 0x80 | len(fields))
+    keys = tuple((_pack_prefix(field.name), field.name) for field in fields)
+    return prefix, keys
+
+
+_MSG_SKELETONS = {cls: _build_skeleton(cls) for cls in ALL_MESSAGE_TYPES}
+_BOT_BODY = _pack_prefix(0x81, "__", "bot")
+_TUP_PREFIX = _pack_prefix(0x82, "__", "tup", "v")
+_MAP_PREFIX = _pack_prefix(0x82, "__", "map", "v")
+#: fixmap(2) + fixstr "t"; the float64 sent_at and fixstr "p" follow.
+_ENVELOPE_PREFIX = _pack_prefix(0x82, "t")
+_ENVELOPE_T = struct.Struct(">Bd")
+_ENVELOPE_P = _pack_prefix("p")
+
+
+def _pack_count_header(buf: bytearray, count: int, fix: int, tag16: int, tag32: int) -> None:
+    if count < 16:
+        buf.append(fix | count)
+    elif count < 65536:
+        buf += struct.pack(">BH", tag16, count)
+    else:
+        buf += struct.pack(">BI", tag32, count)
+
+
+def _pack_payload_into(buf: bytearray, obj: Any) -> None:
+    if obj is BOTTOM:
+        buf += _BOT_BODY
+        return
+    skeleton = _MSG_SKELETONS.get(obj.__class__)
+    if skeleton is not None:
+        prefix, fields = skeleton
+        buf += prefix
+        for key_bytes, name in fields:
+            buf += key_bytes
+            _pack_payload_into(buf, getattr(obj, name))
+        return
+    if isinstance(obj, tuple):
+        buf += _TUP_PREFIX
+        _pack_count_header(buf, len(obj), 0x90, 0xDC, 0xDD)
+        for item in obj:
+            _pack_payload_into(buf, item)
+        return
+    if isinstance(obj, list):
+        _pack_count_header(buf, len(obj), 0x90, 0xDC, 0xDD)
+        for item in obj:
+            _pack_payload_into(buf, item)
+        return
+    if isinstance(obj, dict):
+        buf += _MAP_PREFIX
+        _pack_count_header(buf, len(obj), 0x80, 0xDE, 0xDF)
+        for key, val in obj.items():
+            if not isinstance(key, str):
+                raise FrameCodecError(f"non-string dict key {key!r}")
+            mpack.pack_str_into(buf, key)
+            _pack_payload_into(buf, val)
+        return
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        mpack.pack_into(buf, obj)
+        return
+    if isinstance(obj, ALL_MESSAGE_TYPES):  # subclass of a message dataclass
+        mpack.pack_into(buf, _to_wire(obj))
+        return
+    raise FrameCodecError(f"payload type {type(obj).__name__!r} is not wire-safe")
+
+
+# ---------------------------------------------------------------------------
+# Codec registry
+# ---------------------------------------------------------------------------
+def _json_encode_body_into(buf: bytearray, payload: Any, sent_at: float) -> None:
+    tree = {"t": sent_at, "p": _to_wire(payload)}
+    buf += json.dumps(tree, separators=(",", ":")).encode()
+
+
+def _json_decode_body(body) -> Any:
+    return json.loads(bytes(body))
+
+
+def _msgpack_encode_body_into(buf: bytearray, payload: Any, sent_at: float) -> None:
+    buf += _ENVELOPE_PREFIX
+    buf += _ENVELOPE_T.pack(0xCB, sent_at)
+    buf += _ENVELOPE_P
+    try:
+        _pack_payload_into(buf, payload)
+    except MpackError as exc:
+        raise FrameCodecError(str(exc)) from exc
+
+
+def _msgpack_decode_body(body) -> Any:
+    if HAVE_MSGPACK:
+        return msgpack.unpackb(body, raw=False)
+    return mpack.unpackb(body)
+
+
+class WireCodec(NamedTuple):
+    """One entry in the codec registry.
+
+    ``encode_body_into`` appends the envelope bytes for one message to a
+    caller-owned buffer; ``decode_body`` parses a body (bytes-like, usually
+    a ``memoryview``) back into the codec-neutral tree.  ``byte`` and
+    ``batch_byte`` are the wire codec bytes for single and coalesced frames.
+    """
+
+    name: str
+    byte: bytes
+    batch_byte: bytes
+    encode_body_into: Callable[[bytearray, Any, float], None]
+    decode_body: Callable[[Any], Any]
+
+
+CODECS: dict[str, WireCodec] = {
+    "json": WireCodec("json", CODEC_JSON, CODEC_JSON_BATCH,
+                      _json_encode_body_into, _json_decode_body),
+    "msgpack": WireCodec("msgpack", CODEC_MSGPACK, CODEC_MSGPACK_BATCH,
+                         _msgpack_encode_body_into, _msgpack_decode_body),
+}
+#: codec byte -> (codec name, is_batch); decode dispatches on the received
+#: byte, so a json-configured node still understands msgpack frames -- the
+#: codec is per-frame negotiated, not cluster-fixed.
+CODEC_BYTES: dict[bytes, tuple[str, bool]] = {}
+for _codec in CODECS.values():
+    CODEC_BYTES[_codec.byte] = (_codec.name, False)
+    CODEC_BYTES[_codec.batch_byte] = (_codec.name, True)
+#: The codec transports use when none is requested.  msgpack: smaller
+#: bodies, and the skeleton packer beats json.dumps + tree building even
+#: without the C extension.
+PREFERRED_CODEC = "msgpack"
+
+
+def resolve_codec(name: str | None) -> WireCodec:
+    """Look up a codec by name (``None`` -> :data:`PREFERRED_CODEC`)."""
+    codec = CODECS.get(PREFERRED_CODEC if name is None else name)
+    if codec is None:
+        raise FrameCodecError(f"unknown codec {name!r}")
+    return codec
+
+
+# ---------------------------------------------------------------------------
 # Frames
 # ---------------------------------------------------------------------------
 class Frame(NamedTuple):
@@ -163,6 +353,178 @@ class Frame(NamedTuple):
     sent_at: float
 
 
+class FrameEncoder:
+    """Per-transport encoder: preallocated buffers, primed HMAC, one codec.
+
+    The frame-assembly methods (:meth:`encode`, :meth:`frame`,
+    :meth:`frame_batch`) return the encoder's *reused* ``bytearray``: valid
+    until the next call, so the caller must transmit or copy before
+    encoding again.  That is the zero-alloc contract -- steady state does
+    no per-frame buffer allocation, no ``header + body`` concatenation
+    (the header is packed in place), and no ``bytes`` copy for the HMAC
+    (the tag is computed over a ``memoryview`` of the same buffer from a
+    pre-keyed HMAC context, skipping the per-frame key schedule).
+    """
+
+    __slots__ = ("_buf", "_body_buf", "_codec", "_hmac", "_key")
+
+    def __init__(self, key: bytes, codec: str | None = None) -> None:
+        self._codec = resolve_codec(codec)
+        self._key = key
+        self._hmac = hmac.new(key, digestmod=hashlib.sha256)
+        self._buf = bytearray()
+        self._body_buf = bytearray()
+
+    @property
+    def codec(self) -> str:
+        return self._codec.name
+
+    def encode_body(self, payload: Any, sent_at: float = 0.0) -> bytes:
+        """Encode one message envelope to stable bytes (queueable)."""
+        buf = self._body_buf
+        del buf[:]
+        self._codec.encode_body_into(buf, payload, float(sent_at))
+        if len(buf) > MAX_BODY_BYTES:
+            raise OversizedFrameError(
+                f"encoded body is {len(buf)} bytes (max {MAX_BODY_BYTES})"
+            )
+        return bytes(buf)
+
+    def _seal(self, buf: bytearray) -> bytearray:
+        digest = self._hmac.copy()
+        # The context manager releases the view before the append below
+        # resizes the buffer -- appending with an exported view is a
+        # BufferError.
+        with memoryview(buf) as view:
+            digest.update(view)
+        buf += digest.digest()[:TAG_BYTES]
+        return buf
+
+    def frame(self, sender: int, body: bytes) -> bytearray:
+        """Assemble one single-message frame around an encoded body."""
+        if len(body) > MAX_BODY_BYTES:
+            raise OversizedFrameError(
+                f"body is {len(body)} bytes (max {MAX_BODY_BYTES})"
+            )
+        buf = self._buf
+        del buf[:]
+        buf += _HEADER_PLACEHOLDER
+        buf += body
+        _HEADER.pack_into(buf, 0, MAGIC, self._codec.byte, sender & 0xFFFFFFFF, len(body))
+        return self._seal(buf)
+
+    def frame_batch(self, sender: int, bodies) -> bytearray:
+        """Assemble one BATCH frame coalescing several encoded bodies."""
+        if not bodies:
+            raise FrameCodecError("a batch frame needs at least one body")
+        buf = self._buf
+        del buf[:]
+        buf += _HEADER_PLACEHOLDER
+        for body in bodies:
+            buf += _BATCH_LEN.pack(len(body))
+            buf += body
+        body_len = len(buf) - HEADER_BYTES
+        if body_len > MAX_BODY_BYTES:
+            raise OversizedFrameError(
+                f"batch body is {body_len} bytes (max {MAX_BODY_BYTES})"
+            )
+        _HEADER.pack_into(
+            buf, 0, MAGIC, self._codec.batch_byte, sender & 0xFFFFFFFF, body_len
+        )
+        return self._seal(buf)
+
+    def encode(self, sender: int, payload: Any, sent_at: float = 0.0) -> bytearray:
+        """Encode one message straight into a sealed frame (fast path).
+
+        The envelope is packed directly after the header placeholder in the
+        frame buffer -- no intermediate body ``bytes`` object at all.
+        """
+        buf = self._buf
+        del buf[:]
+        buf += _HEADER_PLACEHOLDER
+        self._codec.encode_body_into(buf, payload, float(sent_at))
+        body_len = len(buf) - HEADER_BYTES
+        if body_len > MAX_BODY_BYTES:
+            raise OversizedFrameError(
+                f"encoded body is {body_len} bytes (max {MAX_BODY_BYTES})"
+            )
+        _HEADER.pack_into(buf, 0, MAGIC, self._codec.byte, sender & 0xFFFFFFFF, body_len)
+        return self._seal(buf)
+
+
+class FrameBatcher:
+    """Coalesce per-(receiver, sender) message bodies into BATCH frames.
+
+    ``add`` queues an encoded body; when the queued bytes for that
+    destination would exceed the datagram budget, the pending run is
+    flushed first, so an emitted batch never overflows
+    :data:`MAX_BODY_BYTES`.  ``flush`` (called by the transport at a
+    loop-tick boundary) emits every pending run in enqueue order -- one
+    plain frame for a run of one, a BATCH frame otherwise -- preserving
+    per-sender FIFO: bodies for one destination always leave in ``add``
+    order, inside one datagram or across consecutive ones.
+
+    ``transmit(receiver, frame, count)`` receives the encoder's reused
+    buffer and must consume it before returning.  ``flush`` snapshots the
+    queue first, so a transmit callback that triggers new ``add`` calls
+    (delivery handlers sending replies in-process) starts a fresh
+    generation instead of mutating the one being drained.
+    """
+
+    __slots__ = ("_budget", "_encoder", "_pending", "_transmit")
+
+    def __init__(
+        self,
+        encoder: FrameEncoder,
+        transmit: Callable[[int, bytearray, int], None],
+        budget: int = MAX_BODY_BYTES,
+    ) -> None:
+        if budget > MAX_BODY_BYTES:
+            raise ValueError(f"budget {budget} exceeds MAX_BODY_BYTES")
+        self._encoder = encoder
+        self._transmit = transmit
+        self._budget = budget
+        # (receiver, sender) -> [queued_bytes_total, body, body, ...]
+        self._pending: dict[tuple[int, int], list] = {}
+
+    @property
+    def pending(self) -> bool:
+        return bool(self._pending)
+
+    def add(self, receiver: int, sender: int, body: bytes) -> None:
+        cost = len(body) + _BATCH_LEN.size
+        key = (receiver, sender)
+        run = self._pending.get(key)
+        if run is not None and run[0] + cost > self._budget:
+            del self._pending[key]
+            self._emit(key, run)
+            run = None
+        if run is None:
+            self._pending[key] = [cost, body]
+        else:
+            run[0] += cost
+            run.append(body)
+
+    def flush(self) -> None:
+        while self._pending:
+            snapshot = self._pending
+            self._pending = {}
+            for key, run in snapshot.items():
+                self._emit(key, run)
+
+    def clear(self) -> None:
+        """Drop everything queued (transport close path)."""
+        self._pending.clear()
+
+    def _emit(self, key: tuple[int, int], run: list) -> None:
+        receiver, sender = key
+        if len(run) == 2:  # [size, body]: no coalescing win, plain frame
+            frame = self._encoder.frame(sender, run[1])
+        else:
+            frame = self._encoder.frame_batch(sender, run[1:])
+        self._transmit(receiver, frame, len(run) - 1)
+
+
 def encode_frame(
     sender: int,
     payload: Any,
@@ -170,32 +532,52 @@ def encode_frame(
     sent_at: float = 0.0,
     codec: str = "json",
 ) -> bytes:
-    """Encode one authenticated frame (raises :class:`FrameError` variants)."""
+    """Encode one authenticated frame (raises :class:`FrameError` variants).
+
+    This is the simple reference path -- fresh buffers, fresh HMAC key
+    schedule, tree-building encode -- kept as the module-level convenience
+    API and as the baseline the wire benchmarks measure
+    :class:`FrameEncoder` against.  Transports use :class:`FrameEncoder`.
+    """
     tree = {"t": sent_at, "p": _to_wire(payload)}
-    if codec == "json":
-        codec_byte = CODEC_JSON
+    spec = resolve_codec(codec)
+    if spec.name == "json":
         body = json.dumps(tree, separators=(",", ":")).encode()
-    elif codec == "msgpack":
-        if not HAVE_MSGPACK:
-            raise FrameCodecError("msgpack codec requested but msgpack is not installed")
-        codec_byte = CODEC_MSGPACK
+    elif HAVE_MSGPACK:
         body = msgpack.packb(tree, use_bin_type=True)
     else:
-        raise FrameCodecError(f"unknown codec {codec!r}")
+        try:
+            body = mpack.packb(tree)
+        except MpackError as exc:
+            raise FrameCodecError(str(exc)) from exc
     if len(body) > MAX_BODY_BYTES:
         raise OversizedFrameError(
             f"encoded body is {len(body)} bytes (max {MAX_BODY_BYTES})"
         )
-    header = _HEADER.pack(MAGIC, codec_byte, sender & 0xFFFFFFFF, len(body))
+    header = _HEADER.pack(MAGIC, spec.byte, sender & 0xFFFFFFFF, len(body))
     tag = hmac.new(key, header + body, hashlib.sha256).digest()[:TAG_BYTES]
     return header + body + tag
 
 
-def decode_frame(data: bytes, key: bytes) -> Frame:
-    """Decode and authenticate one frame (raises :class:`FrameError` variants)."""
-    if len(data) < MIN_FRAME_BYTES:
+def encode_batch_frame(
+    sender: int,
+    payloads,
+    key: bytes,
+    sent_at: float = 0.0,
+    codec: str | None = None,
+) -> bytes:
+    """Encode several payloads into one BATCH frame (test/tool convenience)."""
+    encoder = FrameEncoder(key, codec)
+    bodies = [encoder.encode_body(payload, sent_at) for payload in payloads]
+    return bytes(encoder.frame_batch(sender, bodies))
+
+
+def _decode_outer(data, key: bytes) -> tuple[WireCodec, bool, int, memoryview]:
+    """Validate structure + tag; return (codec, is_batch, sender, body view)."""
+    size = len(data)
+    if size < MIN_FRAME_BYTES:
         raise TruncatedFrameError(
-            f"frame is {len(data)} bytes, shorter than the {MIN_FRAME_BYTES}-byte minimum"
+            f"frame is {size} bytes, shorter than the {MIN_FRAME_BYTES}-byte minimum"
         )
     magic, codec_byte, sender, body_len = _HEADER.unpack_from(data)
     if magic != MAGIC:
@@ -205,30 +587,28 @@ def decode_frame(data: bytes, key: bytes) -> Frame:
             f"declared body of {body_len} bytes exceeds the {MAX_BODY_BYTES} cap"
         )
     expected = HEADER_BYTES + body_len + TAG_BYTES
-    if len(data) < expected:
-        raise TruncatedFrameError(
-            f"frame is {len(data)} bytes but declares {expected}"
-        )
-    if len(data) > expected:
-        raise FrameCodecError(f"{len(data) - expected} trailing bytes after the tag")
-    body = data[HEADER_BYTES : HEADER_BYTES + body_len]
-    tag = data[HEADER_BYTES + body_len :]
-    good = hmac.new(key, data[:HEADER_BYTES] + body, hashlib.sha256).digest()[:TAG_BYTES]
-    if not hmac.compare_digest(tag, good):
+    if size < expected:
+        raise TruncatedFrameError(f"frame is {size} bytes but declares {expected}")
+    if size > expected:
+        raise FrameCodecError(f"{size - expected} trailing bytes after the tag")
+    view = memoryview(data)
+    good = hmac.new(key, view[: HEADER_BYTES + body_len], hashlib.sha256)
+    if not hmac.compare_digest(view[HEADER_BYTES + body_len :], good.digest()[:TAG_BYTES]):
         raise FrameAuthError("authentication tag mismatch")
+    entry = CODEC_BYTES.get(codec_byte)
+    if entry is None:
+        raise FrameCodecError(f"unknown codec byte {codec_byte!r}")
+    codec_name, is_batch = entry
+    return CODECS[codec_name], is_batch, sender, view[HEADER_BYTES : HEADER_BYTES + body_len]
+
+
+def _decode_envelope(codec: WireCodec, body) -> tuple[float, Any]:
     # One umbrella: *any* failure while interpreting an authenticated body
     # (codec parse, envelope shape, payload tags, a malformed "t") must
     # surface as FrameCodecError -- the transports catch FrameError only,
     # and a leaked ValueError would abort an event-loop reader mid-batch.
     try:
-        if codec_byte == CODEC_JSON:
-            tree = json.loads(body.decode())
-        elif codec_byte == CODEC_MSGPACK:
-            if not HAVE_MSGPACK:
-                raise FrameCodecError("msgpack frame received but msgpack is not installed")
-            tree = msgpack.unpackb(body, raw=False)
-        else:
-            raise FrameCodecError(f"unknown codec byte {codec_byte!r}")
+        tree = codec.decode_body(body)
         if not isinstance(tree, dict) or "t" not in tree or "p" not in tree:
             raise FrameCodecError("body is not a framed envelope")
         sent_at = tree["t"]
@@ -239,23 +619,80 @@ def decode_frame(data: bytes, key: bytes) -> Frame:
         raise
     except Exception as exc:
         raise FrameCodecError(f"undecodable body: {exc}") from exc
-    return Frame(sender=sender, payload=payload, sent_at=float(sent_at))
+    return float(sent_at), payload
+
+
+def decode_frame(data, key: bytes) -> Frame:
+    """Decode and authenticate one single-message frame.
+
+    Raises :class:`FrameError` variants; a BATCH frame is refused here --
+    transports use :func:`decode_frames`, which handles both shapes.
+    """
+    codec, is_batch, sender, body = _decode_outer(data, key)
+    if is_batch:
+        raise FrameCodecError("batch frame passed to single-frame decode")
+    sent_at, payload = _decode_envelope(codec, body)
+    return Frame(sender=sender, payload=payload, sent_at=sent_at)
+
+
+def decode_frames(data, key: bytes) -> tuple[Frame, ...]:
+    """Decode one datagram into its frames (single -> 1, batch -> N).
+
+    A batch decodes atomically: if any entry is malformed the whole
+    datagram raises (and the transport counts one rejected datagram),
+    never a prefix of its messages -- partial delivery would violate
+    per-sender FIFO.
+    """
+    codec, is_batch, sender, body = _decode_outer(data, key)
+    if not is_batch:
+        sent_at, payload = _decode_envelope(codec, body)
+        return (Frame(sender=sender, payload=payload, sent_at=sent_at),)
+    size = len(body)
+    if size == 0:
+        raise FrameCodecError("empty batch frame")
+    frames = []
+    pos = 0
+    while pos < size:
+        if pos + _BATCH_LEN.size > size:
+            raise FrameCodecError("truncated batch entry header")
+        (sub_len,) = _BATCH_LEN.unpack_from(body, pos)
+        pos += _BATCH_LEN.size
+        if pos + sub_len > size:
+            raise FrameCodecError("batch entry overruns the frame body")
+        sent_at, payload = _decode_envelope(codec, body[pos : pos + sub_len])
+        frames.append(Frame(sender=sender, payload=payload, sent_at=sent_at))
+        pos += sub_len
+    return tuple(frames)
 
 
 __all__ = [
+    "CODECS",
+    "CODEC_BYTES",
+    "CODEC_JSON",
+    "CODEC_JSON_BATCH",
+    "CODEC_MSGPACK",
+    "CODEC_MSGPACK_BATCH",
     "Frame",
     "FrameAuthError",
+    "FrameBatcher",
     "FrameCodecError",
+    "FrameEncoder",
     "FrameError",
     "HAVE_MSGPACK",
     "HEADER_BYTES",
     "MAGIC",
     "MAX_BODY_BYTES",
     "MIN_FRAME_BYTES",
+    "MSGPACK_IMPL",
     "OversizedFrameError",
+    "PREFERRED_CODEC",
     "TAG_BYTES",
     "TruncatedFrameError",
+    "WireCodec",
     "decode_frame",
+    "decode_frames",
     "derive_key",
+    "encode_batch_frame",
     "encode_frame",
+    "resolve_codec",
 ]

@@ -60,12 +60,14 @@ from repro.net.delivery import (
     UniformDelay,
 )
 from repro.net.network import Envelope
+from repro.runtime import udp_batch
 from repro.runtime.aio import AsyncioHost
 from repro.runtime.framing import (
+    FrameBatcher,
+    FrameEncoder,
     FrameError,
-    decode_frame,
+    decode_frames,
     derive_key,
-    encode_frame,
 )
 from repro.sim.rand import RandomSource
 from repro.sim.trace import Tracer
@@ -100,14 +102,26 @@ class SocketTransport:
         policy: Optional[DeliveryPolicy] = None,
         rand: Optional[RandomSource] = None,
         tracer: Optional[Tracer] = None,
-        codec: str = "json",
+        codec: Optional[str] = None,
+        coalesce: bool = True,
+        use_mmsg: bool = True,
     ) -> None:
         if time_scale <= 0:
             raise ValueError(f"time_scale must be positive, got {time_scale!r}")
         self.node_id = node_id
         self.auth_key = auth_key
         self.time_scale = time_scale
-        self.codec = codec
+        self._encoder = FrameEncoder(auth_key, codec)
+        self.codec = self._encoder.codec
+        self.coalesce = coalesce
+        self._batcher = FrameBatcher(self._encoder, self._transmit_buf)
+        self._flush_scheduled = False
+        self._outbox: list[tuple[bytes, tuple[str, int]]] = []
+        # Batched syscalls are feature-detected once per process and
+        # disabled permanently on the first runtime failure (seccomp, exotic
+        # kernels); sendto/recvfrom is always the fallback.
+        self._use_mmsg = use_mmsg and udp_batch.available()
+        self._mmsg_rx = udp_batch.MmsgReceiver() if self._use_mmsg else None
         self.loop = asyncio.get_running_loop()
         if sock is None:
             sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
@@ -140,6 +154,9 @@ class SocketTransport:
         #: Datagrams refused at the receiver: truncated, oversized, garbage,
         #: or failing authentication.  Never delivered, always counted.
         self.rejected_count = 0
+        #: Datagrams actually put on the wire.  With coalescing this is
+        #: <= sent_count - dropped; the gap is the batching win.
+        self.datagrams_sent = 0
         self.loop.add_reader(self.sock.fileno(), self._on_readable)
 
     # ------------------------------------------------------------------
@@ -219,28 +236,26 @@ class SocketTransport:
             return
         if receiver not in self.directory:
             raise ValueError(f"unknown receiver {receiver}")
-        self._send_copy(sender, receiver, payload, self._encode(sender, payload))
+        body = self._encoder.encode_body(payload, self.now())
+        self._send_copy(sender, receiver, payload, body)
 
     def broadcast(self, sender: int, payload: object) -> None:
         """n point-to-point datagrams, one per known node (self included).
 
-        The frame is encoded and HMAC'd **once** for the whole wave (one
+        The envelope body is encoded **once** for the whole wave (one
         ``sent_at`` stamp, matching the sim network's single timestamp per
         broadcast); only the per-copy policy draw and transmit differ.
+        Copies released in the same loop tick are coalesced into BATCH
+        datagrams per receiver before anything hits the socket.
         """
         if self._closed:
             return
-        frame = self._encode(sender, payload)
+        body = self._encoder.encode_body(payload, self.now())
         for receiver in self.node_ids:
-            self._send_copy(sender, receiver, payload, frame)
-
-    def _encode(self, sender: int, payload: object) -> bytes:
-        return encode_frame(
-            sender, payload, self.auth_key, sent_at=self.now(), codec=self.codec
-        )
+            self._send_copy(sender, receiver, payload, body)
 
     def _send_copy(
-        self, sender: int, receiver: int, payload: object, frame: bytes
+        self, sender: int, receiver: int, payload: object, body: bytes
     ) -> None:
         self.sent_count += 1
         tracer = self._tracer
@@ -265,10 +280,10 @@ class SocketTransport:
                 return
             delay_units = decision.delay
         if delay_units <= 0.0:
-            self._transmit(receiver, frame)
+            self._enqueue(receiver, sender, body)
         else:
             handle = self.loop.call_later(
-                delay_units * self.time_scale, self._transmit, receiver, frame
+                delay_units * self.time_scale, self._enqueue, receiver, sender, body
             )
             self._pending_sends.append(handle)
             if len(self._pending_sends) > 256:
@@ -280,11 +295,59 @@ class SocketTransport:
                     h for h in self._pending_sends if h.when() > now_loop
                 ]
 
-    def _transmit(self, receiver: int, frame: bytes) -> None:
+    def _enqueue(self, receiver: int, sender: int, body: bytes) -> None:
+        """A copy's release moment arrived: queue it for the tick's flush.
+
+        Coalescing happens here, not at send time -- only copies whose
+        policy-drawn release moments land in the same loop tick share a
+        datagram, so drawn delays still govern arrival order.
+        """
         if self._closed:
             return
+        if not self.coalesce:
+            self._send_datagram(bytes(self._encoder.frame(sender, body)), receiver)
+            return
+        self._batcher.add(receiver, sender, body)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.loop.call_soon(self._flush)
+
+    def _flush(self) -> None:
+        """Emit every coalesced run queued this tick, batching the syscalls."""
+        self._flush_scheduled = False
+        if self._closed:
+            self._batcher.clear()
+            return
+        self._batcher.flush()
+        outbox = self._outbox
+        if not outbox:
+            return
+        if len(outbox) > 1 and self._use_mmsg:
+            try:
+                sent = udp_batch.send_many(self.sock, outbox)
+            except OSError:
+                udp_batch.disable()
+                self._use_mmsg = False
+                self._mmsg_rx = None
+                sent = 0
+            self.datagrams_sent += sent
+            del outbox[:sent]  # kernel took the head; sendto the tail
+        for payload, addr in outbox:
+            self._sendto(payload, addr)
+        del outbox[:]
+
+    def _transmit_buf(self, receiver: int, frame_buf, count: int) -> None:
+        # FrameBatcher hands us its encoder's reused buffer; copy to stable
+        # bytes so the whole tick's datagrams can go out in one sendmmsg.
+        self._outbox.append((bytes(frame_buf), self.directory[receiver]))
+
+    def _send_datagram(self, frame: bytes, receiver: int) -> None:
+        self._sendto(frame, self.directory[receiver])
+
+    def _sendto(self, frame: bytes, addr: tuple[str, int]) -> None:
+        self.datagrams_sent += 1
         try:
-            self.sock.sendto(frame, self.directory[receiver])
+            self.sock.sendto(frame, addr)
         except OSError:
             # Localhost UDP can still fail transiently (full socket buffer);
             # the model permits loss only through the policy, but a lost
@@ -296,6 +359,22 @@ class SocketTransport:
     # Receiving
     # ------------------------------------------------------------------
     def _on_readable(self) -> None:
+        if self._mmsg_rx is not None:
+            # Drain in recvmmsg batches: one syscall per up-to-32 datagrams.
+            # The returned views live in the receiver's own buffers and are
+            # decoded before the next recv overwrites them.
+            while True:
+                try:
+                    batch = self._mmsg_rx.recv(self.sock)
+                except OSError:
+                    udp_batch.disable()
+                    self._use_mmsg = False
+                    self._mmsg_rx = None
+                    break  # fall through to the recvfrom loop below
+                if not batch:
+                    return
+                for view in batch:
+                    self._handle_datagram(view)
         while True:
             try:
                 data, _addr = self.sock.recvfrom(65536)
@@ -305,9 +384,9 @@ class SocketTransport:
                 return
             self._handle_datagram(data)
 
-    def _handle_datagram(self, data: bytes) -> None:
+    def _handle_datagram(self, data) -> None:
         try:
-            frame = decode_frame(data, self.auth_key)
+            frames = decode_frames(data, self.auth_key)
         except FrameError:
             self.rejected_count += 1
             if self._tracer is not None:
@@ -317,28 +396,29 @@ class SocketTransport:
         if receiver is None:
             self.rejected_count += 1
             return
-        self.delivered_count += 1
         now = self.now()
-        envelope = Envelope(
-            sender=frame.sender,
-            receiver=self.node_id,
-            payload=frame.payload,
-            sent_at=frame.sent_at,
-            delivered_at=now,
-        )
         tracer = self._tracer
-        if tracer is not None:
-            if tracer.enabled:
-                tracer.record(
-                    now,
-                    self.node_id,
-                    "deliver",
-                    sender=frame.sender,
-                    payload=frame.payload,
-                )
-            else:
-                tracer.bump("deliver")
-        receiver(envelope)
+        for sender, payload, sent_at in frames:
+            self.delivered_count += 1
+            envelope = Envelope(
+                sender=sender,
+                receiver=self.node_id,
+                payload=payload,
+                sent_at=sent_at,
+                delivered_at=now,
+            )
+            if tracer is not None:
+                if tracer.enabled:
+                    tracer.record(
+                        now,
+                        self.node_id,
+                        "deliver",
+                        sender=sender,
+                        payload=payload,
+                    )
+                else:
+                    tracer.bump("deliver")
+            receiver(envelope)
 
     # ------------------------------------------------------------------
     # Teardown
@@ -351,6 +431,8 @@ class SocketTransport:
         for handle in self._pending_sends:
             handle.cancel()
         self._pending_sends.clear()
+        self._batcher.clear()
+        self._outbox.clear()
         try:
             self.loop.remove_reader(self.sock.fileno())
         except (ValueError, OSError):
@@ -412,6 +494,8 @@ async def _child_run(
         policy=cfg["policy"] if cfg["policy"] is not None else _default_policy(params),
         rand=root.split(f"net/{node_id}"),
         tracer=tracer,
+        codec=cfg.get("codec"),
+        coalesce=cfg.get("coalesce", True),
     )
     host = SocketHost(
         node_id,
@@ -524,6 +608,7 @@ async def _child_run(
                 "delivered": transport.delivered_count,
                 "dropped": transport.dropped_count,
                 "rejected": transport.rejected_count,
+                "datagrams": transport.datagrams_sent,
                 "live_timers": host.live_timer_count(),
                 "timers_at_close": timers_at_close,
                 "decisions": decisions,
@@ -557,6 +642,12 @@ def _socket_node_main(cfg: dict, conn) -> None:
         if msg[0] != "start":  # parent aborted setup
             return
         _tag, peers, epoch_wall, key = msg
+        if cfg.get("uvloop"):
+            # Availability was validated in the parent; non-strict here so a
+            # child on a stripped image degrades instead of crashing.
+            from repro.runtime.aio import install_uvloop
+
+            install_uvloop()
         asyncio.run(_child_run(cfg, conn, sock, peers, epoch_wall, key))
     finally:
         sock.close()
@@ -577,6 +668,9 @@ class SocketRunReport:
     delivered_count: int = 0
     dropped_count: int = 0
     rejected_count: int = 0
+    #: Datagrams put on the wire cluster-wide; with coalescing this is
+    #: below sent_count - dropped_count, and the gap is the batching win.
+    datagrams_sent: int = 0
     #: Per-node auth-failed / malformed datagram counts: forged or garbled
     #: traffic is observable per receiver, not just as a cluster total.
     rejected_by_node: dict[int, int] = field(default_factory=dict)
@@ -652,13 +746,26 @@ class SocketCluster:
         fault_script: object = None,
         repropose_every_d: Optional[float] = None,
         value_pool: tuple = ("A", "B", "C"),
+        codec: Optional[str] = None,
+        coalesce: bool = True,
+        uvloop: bool = False,
     ) -> None:
+        if uvloop:
+            # Validate availability up front in the parent: a child crashing
+            # on import would surface as an opaque spawn failure.
+            try:
+                import uvloop as _uvloop  # noqa: F401
+            except ImportError as exc:
+                raise RuntimeError("uvloop requested but not installed") from exc
+        self.uvloop = uvloop
         byzantine = byzantine or {}
         if len(byzantine) > params.f:
             raise ValueError(f"{len(byzantine)} Byzantine nodes exceeds f={params.f}")
         self.params = params
         self.seed = seed
         self.time_scale = time_scale
+        self.codec = codec
+        self.coalesce = coalesce
         self.general = general
         self.value = value
         self.trace = trace
@@ -731,6 +838,9 @@ class SocketCluster:
             "scramble": scramble,
             "repropose_every_d": self._repropose_every_d,
             "value_pool": self._value_pool,
+            "codec": self.codec,
+            "coalesce": self.coalesce,
+            "uvloop": self.uvloop,
         }
 
     def _spawn(
@@ -1148,6 +1258,7 @@ class SocketCluster:
             report.delivered_count += payload["delivered"]
             report.dropped_count += payload["dropped"]
             report.rejected_count += payload["rejected"]
+            report.datagrams_sent += payload.get("datagrams", 0)
             report.rejected_by_node[node_id] = payload["rejected"]
             report.live_timers[node_id] = payload["live_timers"]
             report.timers_at_close[node_id] = payload["timers_at_close"]
@@ -1250,6 +1361,9 @@ def run_agreement_socket(
     restart_budget: int = 3,
     restart_backoff_s: float = 0.25,
     repropose_every_d: Optional[float] = None,
+    codec: Optional[str] = None,
+    coalesce: bool = True,
+    uvloop: bool = False,
 ) -> tuple[SocketRunReport, dict[int, Decision]]:
     """Spawn a socket cluster, run one agreement, tear every process down.
 
@@ -1274,6 +1388,9 @@ def run_agreement_socket(
         restart_budget=restart_budget,
         restart_backoff_s=restart_backoff_s,
         repropose_every_d=repropose_every_d,
+        codec=codec,
+        coalesce=coalesce,
+        uvloop=uvloop,
     )
     try:
         report = cluster.run_agreement()

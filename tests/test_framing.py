@@ -4,11 +4,21 @@ Both non-sim transports (:class:`~repro.runtime.aio.AsyncioTransport` and
 :class:`~repro.runtime.socket_host.SocketTransport`) move every message
 through :mod:`repro.runtime.framing`, so this file is the single place the
 wire format is pinned down: payload round-trips for the whole protocol
-vocabulary, and refusal -- with the right exception -- of truncated,
-oversized, tampered, forged-sender and garbage frames.
+vocabulary across both codecs, the zero-alloc :class:`FrameEncoder` fast
+path, BATCH-frame coalescing (pack/split round-trips, every-prefix
+truncation, overflow refusal, atomic rejection), and refusal -- with the
+right exception -- of truncated, oversized, tampered, forged-sender and
+garbage frames.
+
+The msgpack codec is exercised unconditionally: the vendored
+:mod:`repro.runtime.mpack` subset backs it when the C extension is absent,
+and the cross-implementation tests (skipped without the wheel) pin the two
+implementations to interoperable bytes.
 """
 
 from __future__ import annotations
+
+import random
 
 import pytest
 
@@ -24,24 +34,30 @@ from repro.core.messages import (
     SupportMsg,
 )
 from repro.core.params import BOTTOM
-from repro.runtime import framing
+from repro.runtime import framing, mpack
 from repro.runtime.framing import (
     Frame,
     FrameAuthError,
+    FrameBatcher,
     FrameCodecError,
+    FrameEncoder,
     FrameError,
     HEADER_BYTES,
     MAX_BODY_BYTES,
     MIN_FRAME_BYTES,
     OversizedFrameError,
+    PREFERRED_CODEC,
     TruncatedFrameError,
     decode_frame,
+    decode_frames,
     derive_key,
+    encode_batch_frame,
     encode_frame,
 )
 
 KEY = derive_key("test")
 OTHER_KEY = derive_key("not-the-test-key")
+CODECS = ("json", "msgpack")
 
 ROUND_TRIP_PAYLOADS = [
     "a plain string value",
@@ -66,9 +82,10 @@ ROUND_TRIP_PAYLOADS = [
 
 
 class TestRoundTrip:
+    @pytest.mark.parametrize("codec", CODECS)
     @pytest.mark.parametrize("payload", ROUND_TRIP_PAYLOADS, ids=repr)
-    def test_payload_survives_json(self, payload) -> None:
-        frame = encode_frame(7, payload, KEY, sent_at=1.5)
+    def test_payload_survives(self, codec, payload) -> None:
+        frame = encode_frame(7, payload, KEY, sent_at=1.5, codec=codec)
         decoded = decode_frame(frame, KEY)
         assert decoded == Frame(sender=7, payload=payload, sent_at=1.5)
 
@@ -76,37 +93,252 @@ class TestRoundTrip:
         decoded = decode_frame(encode_frame(0, BOTTOM, KEY), KEY)
         assert decoded.payload is BOTTOM
 
-    def test_message_dataclasses_reconstruct_their_types(self) -> None:
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_message_dataclasses_reconstruct_their_types(self, codec) -> None:
         for cls in ALL_MESSAGE_TYPES:
             original = (
                 cls(general=0, value="v")
                 if cls in (InitiatorMsg, SupportMsg, ApproveMsg, ReadyMsg)
                 else cls(general=0, origin=1, value="v", k=2)
             )
-            decoded = decode_frame(encode_frame(1, original, KEY), KEY).payload
+            frame = encode_frame(1, original, KEY, codec=codec)
+            decoded = decode_frame(frame, KEY).payload
             assert type(decoded) is cls
             assert decoded == original
 
-    def test_unencodable_payload_refused_at_encode(self) -> None:
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_unencodable_payload_refused_at_encode(self, codec) -> None:
         with pytest.raises(FrameCodecError):
-            encode_frame(0, object(), KEY)
+            encode_frame(0, object(), KEY, codec=codec)
         with pytest.raises(FrameCodecError):
-            encode_frame(0, {1: "non-string key"}, KEY)
+            encode_frame(0, {1: "non-string key"}, KEY, codec=codec)
 
-    @pytest.mark.skipif(not framing.HAVE_MSGPACK, reason="msgpack not installed")
-    def test_payload_survives_msgpack(self) -> None:
+    def test_msgpack_codec_always_available(self) -> None:
+        # The vendored subset backs the b"M" codec when the wheel is absent;
+        # "msgpack not installed" is no longer a reachable refusal.
         msg = MBInitMsg(general=0, origin=3, value="A", k=1)
         frame = encode_frame(3, msg, KEY, sent_at=2.0, codec="msgpack")
         assert decode_frame(frame, KEY) == Frame(3, msg, 2.0)
 
-    @pytest.mark.skipif(framing.HAVE_MSGPACK, reason="msgpack is installed")
-    def test_msgpack_codec_gated_when_unavailable(self) -> None:
-        with pytest.raises(FrameCodecError, match="msgpack"):
-            encode_frame(0, "x", KEY, codec="msgpack")
+    def test_msgpack_decode_without_c_extension(self, monkeypatch) -> None:
+        # Force the pure-Python decode branch even when the wheel is
+        # installed, so both decode implementations run in every CI leg.
+        frame = encode_frame(5, ROUND_TRIP_PAYLOADS[-1], KEY, codec="msgpack")
+        monkeypatch.setattr(framing, "HAVE_MSGPACK", False)
+        assert decode_frame(frame, KEY).payload == ROUND_TRIP_PAYLOADS[-1]
+
+    @pytest.mark.skipif(not framing.HAVE_MSGPACK, reason="msgpack not installed")
+    def test_vendored_mpack_interops_with_c_msgpack(self) -> None:
+        import msgpack
+
+        for payload in ROUND_TRIP_PAYLOADS:
+            tree = framing._to_wire(payload)
+            assert msgpack.unpackb(mpack.packb(tree), raw=False) == tree
+            assert mpack.unpackb(msgpack.packb(tree, use_bin_type=True)) == tree
 
     def test_unknown_codec_name_refused(self) -> None:
         with pytest.raises(FrameCodecError):
             encode_frame(0, "x", KEY, codec="pickle")
+
+    def test_preferred_codec_is_msgpack(self) -> None:
+        assert PREFERRED_CODEC == "msgpack"
+        assert FrameEncoder(KEY).codec == "msgpack"
+
+
+class TestFrameEncoder:
+    @pytest.mark.parametrize("codec", CODECS)
+    @pytest.mark.parametrize("payload", ROUND_TRIP_PAYLOADS, ids=repr)
+    def test_fast_path_matches_reference(self, codec, payload) -> None:
+        encoder = FrameEncoder(KEY, codec)
+        frame = bytes(encoder.encode(7, payload, sent_at=1.5))
+        assert decode_frame(frame, KEY) == Frame(7, payload, 1.5)
+
+    def test_buffer_is_reused_across_encodes(self) -> None:
+        # The zero-alloc contract: the encoder hands back the *same*
+        # bytearray each call, so callers must consume before re-encoding.
+        encoder = FrameEncoder(KEY)
+        first = encoder.encode(1, "a")
+        copy = bytes(first)
+        second = encoder.encode(1, "b")
+        assert second is first  # same underlying buffer object
+        assert bytes(first) != copy  # and its contents moved on
+
+    def test_body_then_frame_equals_direct_encode(self) -> None:
+        for codec in CODECS:
+            encoder = FrameEncoder(KEY, codec)
+            body = encoder.encode_body("hello", 2.0)
+            framed = bytes(encoder.frame(4, body))
+            direct = bytes(encoder.encode(4, "hello", 2.0))
+            assert framed == direct
+
+    def test_skeleton_pack_matches_tree_pack(self) -> None:
+        # The per-class skeleton fast path must emit byte-identical msgpack
+        # to packing the tagged tree -- same wire, just without the tree.
+        for payload in ROUND_TRIP_PAYLOADS:
+            direct = bytearray()
+            framing._pack_payload_into(direct, payload)
+            assert bytes(direct) == mpack.packb(framing._to_wire(payload))
+
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_oversized_body_refused(self, codec) -> None:
+        encoder = FrameEncoder(KEY, codec)
+        with pytest.raises(OversizedFrameError):
+            encoder.encode(0, "x" * (MAX_BODY_BYTES + 1))
+        with pytest.raises(OversizedFrameError):
+            encoder.encode_body("x" * (MAX_BODY_BYTES + 1))
+
+    def test_int64_overflow_is_a_codec_error_on_msgpack(self) -> None:
+        encoder = FrameEncoder(KEY, "msgpack")
+        with pytest.raises(FrameCodecError):
+            encoder.encode(0, 2 ** 70)
+
+
+class TestBatchFrames:
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_pack_split_round_trip(self, codec) -> None:
+        batch = encode_batch_frame(9, ROUND_TRIP_PAYLOADS, KEY, sent_at=0.5,
+                                   codec=codec)
+        frames = decode_frames(batch, KEY)
+        assert [f.payload for f in frames] == ROUND_TRIP_PAYLOADS
+        assert all(f.sender == 9 and f.sent_at == 0.5 for f in frames)
+
+    def test_single_frame_decodes_as_one_element_tuple(self) -> None:
+        frame = encode_frame(3, "solo", KEY)
+        assert decode_frames(frame, KEY) == (Frame(3, "solo", 0.0),)
+
+    def test_property_random_corpora_round_trip(self) -> None:
+        # Property test: random mixes of the protocol vocabulary, random
+        # batch sizes, both codecs -- every batch splits back to its inputs.
+        rng = random.Random(0xB47C)
+        for trial in range(25):
+            codec = CODECS[trial % 2]
+            size = rng.randint(1, 40)
+            payloads = [
+                rng.choice(ROUND_TRIP_PAYLOADS) for _ in range(size)
+            ]
+            batch = encode_batch_frame(trial, payloads, KEY, codec=codec)
+            frames = decode_frames(batch, KEY)
+            assert [f.payload for f in frames] == payloads
+            assert all(f.sender == trial for f in frames)
+
+    @pytest.mark.parametrize("codec", CODECS)
+    def test_every_prefix_of_a_batch_is_refused(self, codec) -> None:
+        batch = encode_batch_frame(
+            2, ROUND_TRIP_PAYLOADS[:5], KEY, codec=codec
+        )
+        for cut in range(len(batch)):
+            with pytest.raises(FrameError):
+                decode_frames(batch[:cut], KEY)
+
+    def test_overflowing_batch_refused_at_encode(self) -> None:
+        # Three 8 KB bodies exceed the 16 KB datagram budget; the encoder
+        # must refuse rather than emit a fragmenting datagram.
+        big = "x" * 8000
+        with pytest.raises(OversizedFrameError):
+            encode_batch_frame(0, [big, big, big], KEY)
+
+    def test_empty_batch_refused_at_encode(self) -> None:
+        with pytest.raises(FrameCodecError):
+            encode_batch_frame(0, [], KEY)
+
+    def test_batch_refused_by_single_frame_decode(self) -> None:
+        batch = encode_batch_frame(1, ["a", "b"], KEY)
+        with pytest.raises(FrameCodecError):
+            decode_frame(batch, KEY)
+
+    def test_tampered_batch_is_refused(self) -> None:
+        batch = bytearray(encode_batch_frame(1, ["a", "b"], KEY))
+        batch[HEADER_BYTES + 3] ^= 0xFF
+        with pytest.raises(FrameAuthError):
+            decode_frames(bytes(batch), KEY)
+
+    def test_forged_sender_on_batch_is_refused(self) -> None:
+        batch = bytearray(encode_batch_frame(1, ["a", "b"], KEY))
+        batch[3:7] = (2).to_bytes(4, "big")
+        with pytest.raises(FrameAuthError):
+            decode_frames(bytes(batch), KEY)
+
+    def test_malformed_interior_rejects_the_whole_batch(self) -> None:
+        # An authentic batch whose *interior* is garbage (a buggy peer)
+        # must reject atomically -- no prefix of its messages delivered.
+        encoder = FrameEncoder(KEY, "msgpack")
+        good = encoder.encode_body("fine")
+        interior = (
+            len(good).to_bytes(2, "big") + good
+            + (5).to_bytes(2, "big") + b"\xc1garb"  # 0xc1 is never valid
+        )
+        frame = _authentic_frame(interior, codec_byte=b"m")
+        with pytest.raises(FrameCodecError):
+            decode_frames(frame, KEY)
+
+    def test_entry_overrunning_body_is_refused(self) -> None:
+        encoder = FrameEncoder(KEY, "msgpack")
+        good = encoder.encode_body("fine")
+        interior = (len(good) + 9).to_bytes(2, "big") + good  # lies long
+        with pytest.raises(FrameCodecError):
+            decode_frames(_authentic_frame(interior, codec_byte=b"m"), KEY)
+
+    def test_empty_batch_body_is_refused(self) -> None:
+        with pytest.raises(FrameCodecError):
+            decode_frames(_authentic_frame(b"", codec_byte=b"m"), KEY)
+
+
+class TestFrameBatcher:
+    def _make(self, budget=MAX_BODY_BYTES):
+        sent: list[tuple[int, bytes, int]] = []
+        encoder = FrameEncoder(KEY, "msgpack")
+        batcher = FrameBatcher(
+            encoder, lambda r, buf, n: sent.append((r, bytes(buf), n)),
+            budget=budget,
+        )
+        return encoder, batcher, sent
+
+    def test_flush_coalesces_per_receiver_in_fifo_order(self) -> None:
+        encoder, batcher, sent = self._make()
+        for i in range(6):
+            batcher.add(2, 0, encoder.encode_body(i))
+        batcher.add(3, 0, encoder.encode_body("solo"))
+        assert batcher.pending
+        batcher.flush()
+        assert not batcher.pending
+        assert len(sent) == 2
+        receiver, frame, count = sent[0]
+        assert (receiver, count) == (2, 6)
+        assert [f.payload for f in decode_frames(frame, KEY)] == list(range(6))
+        receiver, frame, count = sent[1]
+        assert (receiver, count) == (3, 1)
+        # A run of one goes out as a plain frame, not a 1-element batch.
+        assert decode_frame(frame, KEY).payload == "solo"
+
+    def test_budget_overflow_flushes_early_and_keeps_order(self) -> None:
+        encoder, batcher, sent = self._make()
+        bodies = [encoder.encode_body("y" * 6000) for _ in range(4)]
+        for body in bodies:
+            batcher.add(5, 1, body)
+        batcher.flush()
+        assert len(sent) >= 2  # the 24 KB run cannot fit one datagram
+        replayed = [
+            f.payload for (_, frame, _) in sent for f in decode_frames(frame, KEY)
+        ]
+        assert replayed == ["y" * 6000] * 4
+        for _, frame, _ in sent:
+            assert len(frame) <= HEADER_BYTES + MAX_BODY_BYTES + framing.TAG_BYTES
+
+    def test_distinct_senders_never_share_a_datagram(self) -> None:
+        encoder, batcher, sent = self._make()
+        batcher.add(2, 0, encoder.encode_body("from-zero"))
+        batcher.add(2, 1, encoder.encode_body("from-one"))
+        batcher.flush()
+        assert len(sent) == 2
+        senders = {decode_frames(frame, KEY)[0].sender for (_, frame, _) in sent}
+        assert senders == {0, 1}
+
+    def test_clear_drops_pending(self) -> None:
+        encoder, batcher, sent = self._make()
+        batcher.add(2, 0, encoder.encode_body("x"))
+        batcher.clear()
+        batcher.flush()
+        assert not sent
 
 
 class TestTruncated:
@@ -198,13 +430,17 @@ class TestAuthentication:
             with pytest.raises(FrameCodecError):
                 decode_frame(_authentic_frame(body), KEY)
 
+    def test_unknown_codec_byte_is_refused(self) -> None:
+        with pytest.raises(FrameCodecError):
+            decode_frame(_authentic_frame(b"{}", codec_byte=b"Z"), KEY)
 
-def _authentic_frame(body: bytes) -> bytes:
+
+def _authentic_frame(body: bytes, codec_byte: bytes = b"J") -> bytes:
     """A frame with a *valid* tag over an arbitrary body (a buggy peer)."""
     import hashlib
     import hmac
     import struct
 
-    header = struct.pack(">2s c I I", b"SB", b"J", 1, len(body))
+    header = struct.pack(">2s c I I", b"SB", codec_byte, 1, len(body))
     tag = hmac.new(KEY, header + body, hashlib.sha256).digest()[:16]
     return header + body + tag

@@ -381,6 +381,27 @@ async def contract_close_then_respawn_starts_fresh(h) -> None:
     assert fresh.live_timer_count() == 0
 
 
+async def contract_coalescing_preserves_per_sender_fifo(h) -> None:
+    """A burst to one receiver arrives in send order, coalesced or not.
+
+    The wire backends pack same-receiver messages into BATCH datagrams at
+    delivery-release time; the sim backend never coalesces.  Either way the
+    per-sender FIFO guarantee the protocol layer leans on must hold: twelve
+    back-to-back sends (equal policy delay, so the wire backends *will*
+    coalesce them) land as exactly twelve envelopes, in order.
+    """
+    host_a, host_b = h.make_host(0), h.make_host(1)
+    inbox: list = []
+    host_a.attach(lambda e: None)
+    host_b.attach(inbox.append)
+    burst = [f"m{i}" for i in range(12)]
+    for payload in burst:
+        host_a.send(1, payload)
+    await h.drive(2.0)
+    assert [e.payload for e in inbox] == burst, "coalescing reordered a burst"
+    assert all(e.sender == 0 for e in inbox)
+
+
 CONTRACTS = [
     contract_monotonic_now,
     contract_timers_fire_in_deadline_order,
@@ -397,6 +418,7 @@ CONTRACTS = [
     contract_broadcast_one_copy_per_node_exactly,
     contract_trace_attribution_survives_interleaved_sends,
     contract_close_then_respawn_starts_fresh,
+    contract_coalescing_preserves_per_sender_fifo,
 ]
 CONTRACT_IDS = [fn.__name__.removeprefix("contract_") for fn in CONTRACTS]
 

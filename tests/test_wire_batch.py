@@ -1,0 +1,280 @@
+"""Wire-path plumbing beneath the framing layer.
+
+The framing tests pin the *format*; this file pins the machinery the lean
+wire path rides on: the vendored msgpack subset (:mod:`repro.runtime.mpack`)
+at its encoding edges, the batched UDP syscalls
+(:mod:`repro.runtime.udp_batch`) against a real loopback socket pair, the
+kill-switch degradation story, the transports' datagram accounting under
+coalescing, and the opt-in uvloop hook.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.runtime import mpack, udp_batch
+from repro.runtime.framing import FrameEncoder, decode_frames, derive_key
+
+KEY = derive_key("wire-batch")
+
+
+# ---------------------------------------------------------------------------
+# Vendored msgpack subset: edge-exact encodings and refusals
+# ---------------------------------------------------------------------------
+class TestMpack:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            0, 1, 127, 128, 255, 256, 65535, 65536,
+            -1, -32, -33, -128, -129, -32768, -32769,
+            2 ** 31 - 1, 2 ** 31, 2 ** 32 - 1, 2 ** 32,
+            2 ** 63 - 1, 2 ** 64 - 1, -(2 ** 63),
+            0.0, -2.5, 1e300, float("inf"),
+            "", "x" * 31, "x" * 32, "x" * 255, "x" * 256, "é漢",
+            None, True, False,
+            [], [1, [2, [3]]], list(range(20)),
+            {}, {"k": "v"}, {"a": {"b": {"c": None}}},
+            b"", b"\x00\xff" * 300,
+        ],
+        ids=repr,
+    )
+    def test_scalar_and_container_round_trip(self, value) -> None:
+        assert mpack.unpackb(mpack.packb(value)) == value
+
+    def test_format_boundaries(self) -> None:
+        # The subset must pick the canonical (smallest) format at each
+        # boundary -- that is what makes it byte-compatible with the wheel.
+        assert mpack.packb(127) == b"\x7f"          # positive fixint edge
+        assert mpack.packb(128) == b"\xcc\x80"      # -> uint8
+        assert mpack.packb(-32) == b"\xe0"          # negative fixint edge
+        assert mpack.packb(-33) == b"\xd0\xdf"      # -> int8
+        assert mpack.packb("x" * 31)[0] == 0xBF     # fixstr edge
+        assert mpack.packb("x" * 32)[0] == 0xD9     # -> str8
+        assert mpack.packb([None] * 15)[0] == 0x9F  # fixarray edge
+        assert mpack.packb([None] * 16)[:3] == b"\xdc\x00\x10"  # -> array16
+        assert mpack.packb({}) == b"\x80"           # fixmap
+
+    def test_int_beyond_64_bits_refused(self) -> None:
+        for value in (2 ** 64, -(2 ** 63) - 1, 2 ** 100):
+            with pytest.raises(mpack.MpackError):
+                mpack.packb(value)
+
+    def test_non_string_map_keys_refused(self) -> None:
+        with pytest.raises(mpack.MpackError):
+            mpack.packb({1: "x"})
+
+    def test_unsupported_type_refused(self) -> None:
+        with pytest.raises(mpack.MpackError):
+            mpack.packb(object())
+
+    def test_truncated_input_refused(self) -> None:
+        blob = mpack.packb({"k": [1, "two", 3.0]})
+        for cut in range(len(blob)):
+            with pytest.raises(mpack.MpackError):
+                mpack.unpackb(blob[:cut])
+
+    def test_trailing_bytes_refused(self) -> None:
+        with pytest.raises(mpack.MpackError):
+            mpack.unpackb(mpack.packb(1) + b"\x00")
+
+    def test_reserved_tag_refused(self) -> None:
+        with pytest.raises(mpack.MpackError):
+            mpack.unpackb(b"\xc1")  # 0xc1 is never used by msgpack
+
+
+# ---------------------------------------------------------------------------
+# sendmmsg/recvmmsg against a real loopback socket pair
+# ---------------------------------------------------------------------------
+def _socket_pair():
+    rx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    rx.bind(("127.0.0.1", 0))
+    rx.setblocking(False)
+    tx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    tx.bind(("127.0.0.1", 0))
+    return tx, rx, rx.getsockname()
+
+
+@pytest.mark.skipif(not udp_batch.HAVE_MMSG, reason="sendmmsg/recvmmsg unavailable")
+class TestMmsg:
+    def test_send_many_recv_round_trip(self) -> None:
+        tx, rx, addr = _socket_pair()
+        try:
+            payloads = [b"datagram-%d" % i for i in range(10)]
+            sent = udp_batch.send_many(tx, [(p, addr) for p in payloads])
+            assert sent == len(payloads)
+            receiver = udp_batch.MmsgReceiver(max_batch=16)
+            got: list[bytes] = []
+            for _ in range(100):
+                views = receiver.recv(rx)
+                if not views:
+                    if len(got) == len(payloads):
+                        break
+                    continue
+                got.extend(bytes(v) for v in views)
+            assert sorted(got) == sorted(payloads)
+        finally:
+            tx.close()
+            rx.close()
+
+    def test_send_many_empty_is_a_noop(self) -> None:
+        tx, rx, _ = _socket_pair()
+        try:
+            assert udp_batch.send_many(tx, []) == 0
+        finally:
+            tx.close()
+            rx.close()
+
+    def test_recv_on_drained_socket_returns_empty(self) -> None:
+        tx, rx, _ = _socket_pair()
+        try:
+            assert udp_batch.MmsgReceiver(max_batch=4).recv(rx) == []
+        finally:
+            tx.close()
+            rx.close()
+
+    def test_views_are_reused_across_recv_calls(self) -> None:
+        # The zero-alloc contract: views point into preallocated buffers,
+        # valid until the next recv.  Consumers must copy to retain.
+        tx, rx, addr = _socket_pair()
+        try:
+            receiver = udp_batch.MmsgReceiver(max_batch=4)
+            tx.sendto(b"first", addr)
+            views = _drain_one(receiver, rx)
+            stale = views[0]  # NOT copied
+            tx.sendto(b"worse", addr)
+            _drain_one(receiver, rx)
+            assert bytes(stale) == b"worse", "buffers must be reused"
+        finally:
+            tx.close()
+            rx.close()
+
+    def test_kill_switch_is_permanent_and_loud(self, monkeypatch) -> None:
+        assert udp_batch.available()
+        udp_batch.disable()
+        try:
+            assert not udp_batch.available()
+            assert udp_batch.HAVE_MMSG  # probe result is untouched
+        finally:
+            monkeypatch.setattr(udp_batch, "_disabled", False)
+        assert udp_batch.available()
+
+
+def _drain_one(receiver, rx):
+    for _ in range(100):
+        views = receiver.recv(rx)
+        if views:
+            return views
+    raise AssertionError("datagram never arrived on loopback")
+
+
+# ---------------------------------------------------------------------------
+# Transport integration: coalescing shrinks the datagram count
+# ---------------------------------------------------------------------------
+class TestTransportCoalescing:
+    def test_asyncio_burst_coalesces_into_fewer_datagrams(self) -> None:
+        from repro.net.delivery import FixedDelay
+        from repro.runtime.aio import AsyncioTransport
+        from repro.sim.rand import RandomSource
+
+        async def scenario():
+            transport = AsyncioTransport(
+                time_scale=0.001, policy=FixedDelay(0.25),
+                rand=RandomSource(7, "net"),
+            )
+            inbox: list = []
+            transport.register(0, lambda e: None)
+            transport.register(1, inbox.append)
+            for i in range(10):
+                transport.send(0, 1, f"m{i}")
+            await asyncio.sleep(0.05)
+            return transport.datagrams_sent, [e.payload for e in inbox]
+
+        datagrams, payloads = asyncio.run(scenario())
+        assert payloads == [f"m{i}" for i in range(10)]
+        assert datagrams < 10, "a same-tick burst must coalesce"
+
+    def test_uncoalesced_transport_sends_one_datagram_each(self) -> None:
+        from repro.net.delivery import FixedDelay
+        from repro.runtime.aio import AsyncioTransport
+        from repro.sim.rand import RandomSource
+
+        async def scenario():
+            transport = AsyncioTransport(
+                time_scale=0.001, policy=FixedDelay(0.25),
+                rand=RandomSource(7, "net"), coalesce=False,
+            )
+            inbox: list = []
+            transport.register(0, lambda e: None)
+            transport.register(1, inbox.append)
+            for i in range(10):
+                transport.send(0, 1, f"m{i}")
+            await asyncio.sleep(0.05)
+            return transport.datagrams_sent, [e.payload for e in inbox]
+
+        datagrams, payloads = asyncio.run(scenario())
+        assert payloads == [f"m{i}" for i in range(10)]
+        assert datagrams == 10
+
+    def test_socket_burst_coalesces_on_the_wire(self) -> None:
+        # Count *actual UDP datagrams* with a passive observer socket: ten
+        # same-tick sends to one receiver must arrive in fewer datagrams.
+        import time as _time
+
+        from repro.net.delivery import FixedDelay
+        from repro.runtime.socket_host import SocketTransport
+        from repro.sim.rand import RandomSource
+
+        async def scenario():
+            observer = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            observer.bind(("127.0.0.1", 0))
+            observer.setblocking(False)
+            directory: dict[int, tuple[str, int]] = {1: observer.getsockname()}
+            transport = SocketTransport(
+                0, auth_key=KEY, time_scale=0.001, epoch_wall=_time.time(),
+                directory=directory, policy=FixedDelay(0.25),
+                rand=RandomSource(7, "net"),
+            )
+            try:
+                for i in range(10):
+                    transport.send(0, 1, f"m{i}")
+                await asyncio.sleep(0.05)
+                datagrams, messages = 0, []
+                while True:
+                    try:
+                        data, _ = observer.recvfrom(65536)
+                    except BlockingIOError:
+                        break
+                    datagrams += 1
+                    messages.extend(
+                        f.payload for f in decode_frames(data, KEY)
+                    )
+                return datagrams, messages
+            finally:
+                transport.close()
+                observer.close()
+
+        datagrams, messages = asyncio.run(scenario())
+        assert messages == [f"m{i}" for i in range(10)]
+        assert datagrams < 10, "the burst must coalesce into BATCH datagrams"
+
+
+# ---------------------------------------------------------------------------
+# uvloop hook: graceful when missing, loud when demanded
+# ---------------------------------------------------------------------------
+class TestUvloopHook:
+    def test_missing_uvloop_is_graceful_by_default(self) -> None:
+        from repro.runtime.aio import install_uvloop
+
+        try:
+            import uvloop  # noqa: F401
+        except ImportError:
+            assert install_uvloop() is False
+            with pytest.raises(RuntimeError, match="uvloop"):
+                install_uvloop(strict=True)
+        else:  # pragma: no cover - exercised only where uvloop is installed
+            assert install_uvloop() is True
+            asyncio.set_event_loop_policy(None)
