@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Sharded simulation: one big cluster, several event loops, same bits.
+
+Setting ``shards=`` on a :class:`~repro.harness.scenario.ScenarioConfig`
+partitions the cluster's nodes across independent event loops that
+synchronize conservatively at cross-shard message boundaries: each shard
+only advances to ``min(peer horizons) + lookahead``, where the lookahead is
+the minimum cross-shard transit delay the delivery policy guarantees
+(:meth:`DeliveryPolicy.min_delay`).  Because every event executes in a
+placement-independent total order, the sharded run is **bit-identical** to
+the serial kernel at the same seed -- same decisions, same network
+counters, same trace digest.  This script proves it on an n=25 run.
+
+Run:  PYTHONPATH=src python examples/sharded_scaling.py
+"""
+
+import time
+
+from repro.core.params import ProtocolParams
+from repro.harness.scenario import Cluster, ScenarioConfig
+from repro.sim.trace import trace_digest
+
+
+def run_once(shards, transport="process"):
+    """One traced n=25 agreement run; returns (facts, wall seconds)."""
+    params = ProtocolParams(n=25, f=1, delta=1.0, rho=1e-4)
+    config = ScenarioConfig(
+        params=params,
+        seed=11,
+        trace=True,
+        shards=shards,
+        shard_transport=transport,
+    )
+    start = time.perf_counter()
+    cluster = Cluster(config)
+    try:
+        cluster.propose(general=0, value="rendezvous-at-k2")
+        cluster.run_for(params.delta_agr + 10 * params.d)
+        facts = {
+            "decisions": sorted(
+                (dec.node, dec.value, round(dec.returned_real, 9))
+                for dec in cluster.decisions(0)
+            ),
+            "sent": cluster.net.sent_count,
+            "delivered": cluster.net.delivered_count,
+            "digest": trace_digest(cluster.tracer),
+        }
+        return facts, time.perf_counter() - start
+    finally:
+        if cluster.sharded:
+            cluster.close()
+
+
+def main() -> None:
+    print("n=25 agreement run, serial kernel vs sharded kernel\n")
+
+    serial, serial_wall = run_once(None)
+    print(f"  serial     : {serial_wall:6.2f}s  digest={serial['digest'][:16]}…")
+
+    for shards in (2, 4):
+        sharded, wall = run_once(shards)
+        marker = "bit-identical ✓" if sharded == serial else "DIVERGED ✗"
+        print(
+            f"  shards={shards}   : {wall:6.2f}s  "
+            f"digest={sharded['digest'][:16]}…  {marker}"
+        )
+        assert sharded == serial, f"shards={shards} diverged from serial"
+
+    nodes = len({node for node, _value, _t in serial["decisions"]})
+    values = {value for _node, value, _t in serial["decisions"]}
+    print(
+        f"\n{nodes} correct nodes decided {values!r}; "
+        f"{serial['sent']} sends, {serial['delivered']} deliveries -- "
+        "identical rows, counters, and trace digests at every shard count. ✓"
+    )
+    print(
+        "(On a single-core container the sharded runs pay coordination "
+        "overhead; on multi-core hosts the shards run on separate cores.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -55,6 +55,28 @@ echo
 echo "== suite smoke (scenario matrix: 2 timelines x 2 seeds) =="
 python -m repro.cli suite --preset smoke --workers 2
 
+echo
+echo "== shard equivalence smoke (suite smoke rows: serial vs shards=2) =="
+python - <<'EOF'
+import sys
+
+from repro.harness.suite import SUITE_PRESETS, run_suite
+
+serial = run_suite(SUITE_PRESETS["smoke"])
+sharded = run_suite(SUITE_PRESETS["smoke"], shards=2, shard_transport="inline")
+if sharded != serial:
+    for before, after in zip(serial, sharded):
+        if before != after:
+            print(f"  serial : {before}", file=sys.stderr)
+            print(f"  sharded: {after}", file=sys.stderr)
+    sys.exit("sharded suite rows diverged from serial")
+digests = sorted({row["digest"] for row in serial if "digest" in row})
+print(
+    f"ok: {len(serial)} rows bit-identical at shards=2 "
+    f"(digests: {', '.join(digests) or '<none>'})"
+)
+EOF
+
 # Stash the committed baseline before the bench run overwrites the file.
 BASELINE="$(mktemp)"
 trap 'rm -f "$BASELINE"' EXIT
@@ -66,10 +88,11 @@ else
 fi
 
 echo
-echo "== benchmark smoke (kernel + wire micro-benchmarks + asyncio/socket/chaos latency) =="
+echo "== benchmark smoke (kernel + wire micro-benchmarks + asyncio/socket/chaos latency + shard scaling) =="
 python -m pytest benchmarks/bench_perf_kernel.py benchmarks/bench_wire.py \
     benchmarks/bench_x4_asyncio_host.py \
-    benchmarks/bench_x5_socket_host.py benchmarks/bench_x6_chaos.py --benchmark-only -q
+    benchmarks/bench_x5_socket_host.py benchmarks/bench_x6_chaos.py \
+    benchmarks/bench_shard_scaling.py --benchmark-only -q
 
 echo
 echo "== validating BENCH_perf.json =="
@@ -105,6 +128,7 @@ required = (
     "x4_asyncio_host",
     "x5_socket_host",
     "x6_chaos",
+    "shard_scaling",
 )
 missing = [name for name in required if name not in results]
 if missing:
@@ -119,6 +143,8 @@ if evaluator < 3.0:
 wire = results["wire_batch_pipeline"]["speedup_vs_reference"]
 if wire < 3.0:
     sys.exit(f"lean wire path regressed: {wire:.2f}x < 3x vs JSON reference")
+if not results["shard_scaling"].get("digest_equal"):
+    sys.exit("sharded kernel diverged from serial (shard_scaling.digest_equal)")
 
 print(
     f"ok: {len(results)} results; msglog {msglog:.1f}x, "

@@ -94,6 +94,19 @@ def _build_parser() -> argparse.ArgumentParser:
             default=None,
             help="process-pool size for per-seed fan-out (default: serial)",
         )
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            help="run each scenario on the sharded sim kernel with this many "
+            "shard groups (bit-identical results; default: serial kernel)",
+        )
+        p.add_argument(
+            "--shard-transport",
+            choices=("process", "inline"),
+            default=None,
+            help="shard execution transport (default: process)",
+        )
 
     constants = sub.add_parser("constants", help="print derived timing constants")
     add_model_args(constants)
@@ -339,11 +352,13 @@ def _stabilize_one_seed(params: ProtocolParams, garbage: int, seed: int) -> tupl
 def cmd_run(args: argparse.Namespace) -> int:
     params = _params(args)
     if args.seeds is not None:
+        seed_fn = partial(_run_one_seed, params, args.attack, args.general, args.value)
+        if args.shards is not None:
+            from repro.harness.registry import _ShardedSeedFn
+
+            seed_fn = _ShardedSeedFn(seed_fn, args.shards, args.shard_transport)
         with SeedPool.shared(args.workers) as pool:
-            results = pool.map(
-                partial(_run_one_seed, params, args.attack, args.general, args.value),
-                args.seeds,
-            )
+            results = pool.map(seed_fn, args.seeds)
         all_ok = True
         for seed, (agree, v_ok, t_ok, decided) in zip(args.seeds, results):
             verdicts = f"agreement={agree}"
@@ -358,7 +373,13 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     byzantine = _attack_strategies(args.attack, args.general, params)
     cluster = Cluster(
-        ScenarioConfig(params=params, seed=args.seed, byzantine=byzantine)
+        ScenarioConfig(
+            params=params,
+            seed=args.seed,
+            byzantine=byzantine,
+            shards=args.shards,
+            shard_transport=args.shard_transport or "process",
+        )
     )
     if args.attack == "none":
         t0 = cluster.sim.now
@@ -674,7 +695,13 @@ def cmd_suite(args: argparse.Namespace) -> int:
         print("suite: need --preset or --config", file=sys.stderr)
         return 2
 
-    rows = run_suite(config, workers=args.workers, seeds=args.seeds)
+    rows = run_suite(
+        config,
+        workers=args.workers,
+        seeds=args.seeds,
+        shards=args.shards,
+        shard_transport=args.shard_transport,
+    )
     if args.csv:
         print(rows_to_csv(rows), end="")
     else:

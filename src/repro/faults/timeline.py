@@ -204,12 +204,13 @@ class Crash(FaultAction):
     state_loss: bool = False
 
     def apply(self, cluster: "Cluster", index: int = 0) -> None:
-        for node_id in self.nodes:
-            node = cluster.nodes[node_id]
-            node.crash()
-            node.cancel_timers()
-            if self.state_loss:
-                wipe_protocol_state(node)
+        for pos, node_id in enumerate(self.nodes):
+            with cluster.node_scope(node_id, pos):
+                node = cluster.nodes[node_id]
+                node.crash()
+                node.cancel_timers()
+                if self.state_loss:
+                    wipe_protocol_state(node)
 
 
 @dataclass(frozen=True)
@@ -244,19 +245,20 @@ class Restart(FaultAction):
                 value_pool=list(self.value_pool),
                 generals=list(self.generals),
             )
-        for node_id in self.nodes:
-            node = cluster.nodes[node_id]
-            if not node.crashed:
-                continue
-            node.resume()
-            if injector is not None and hasattr(node, "instances"):
-                injector.corrupt_node(node)
-            if hasattr(node, "cleanup_interval_d"):
-                node.every_local(
-                    node.cleanup_interval_d * node.params.d,
-                    node._cleanup_tick,
-                    tag=f"cleanup:{node_id}",
-                )
+        for pos, node_id in enumerate(self.nodes):
+            with cluster.node_scope(node_id, pos):
+                node = cluster.nodes[node_id]
+                if not node.crashed:
+                    continue
+                node.resume()
+                if injector is not None and hasattr(node, "instances"):
+                    injector.corrupt_node(node)
+                if hasattr(node, "cleanup_interval_d"):
+                    node.every_local(
+                        node.cleanup_interval_d * node.params.d,
+                        node._cleanup_tick,
+                        tag=f"cleanup:{node_id}",
+                    )
 
 
 @dataclass(frozen=True)
@@ -274,11 +276,14 @@ class SwapStrategy(FaultAction):
             )
 
     def apply(self, cluster: "Cluster", index: int = 0) -> None:
-        target = cluster.nodes[self.node]
-        if not hasattr(target, "strategy"):
-            raise TypeError(f"node {self.node} is not Byzantine; cannot swap strategy")
-        target.strategy = self.strategy
-        self.strategy.install(target)  # type: ignore[union-attr]
+        with cluster.node_scope(self.node, 0):
+            target = cluster.nodes[self.node]
+            if not hasattr(target, "strategy"):
+                raise TypeError(
+                    f"node {self.node} is not Byzantine; cannot swap strategy"
+                )
+            target.strategy = self.strategy
+            self.strategy.install(target)  # type: ignore[union-attr]
 
 
 @dataclass(frozen=True)
@@ -363,7 +368,16 @@ class FaultScript:
         return cls(tuple(actions))
 
     def install(self, cluster: "Cluster", start_real: "float | None" = None) -> None:
-        """Schedule all actions on the cluster's simulator."""
+        """Schedule all actions on the cluster's simulator.
+
+        A sharded driving facade has no local simulator; it exposes
+        ``install_script``, which validates the script and replays this
+        method inside every shard worker.
+        """
+        installer = getattr(cluster, "install_script", None)
+        if installer is not None:
+            installer(self, start_real)
+            return
         base = cluster.sim.now if start_real is None else start_real
         d = cluster.params.d
         ordered = sorted(enumerate(self.actions), key=lambda pair: pair[1].at_d)

@@ -41,6 +41,7 @@ never lambdas or closures.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
@@ -50,16 +51,32 @@ R = TypeVar("R")
 _SHARED_POOLS: dict[int, "SeedPool"] = {}
 
 
+def _cpu_count() -> int:
+    """Available core count (separate hook so tests can pin it)."""
+    return os.cpu_count() or 1
+
+
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalize a ``workers`` argument to an effective worker count.
 
     ``None``, ``0`` and ``1`` mean serial; negative values mean "all cores";
-    anything else is taken literally.
+    anything else is taken literally up to the machine's core count --
+    requests beyond it are capped (with a :class:`RuntimeWarning`), so
+    oversubscription is visible instead of silently thrashing the scheduler.
     """
     if workers is None or workers == 0:
         return 1
+    cores = _cpu_count()
     if workers < 0:
-        return os.cpu_count() or 1
+        return cores
+    if workers > cores:
+        warnings.warn(
+            f"workers={workers} exceeds the {cores} available core(s); "
+            f"capping at {cores}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return cores
     return workers
 
 
@@ -72,6 +89,7 @@ class SeedPool:
     """
 
     def __init__(self, workers: Optional[int] = None) -> None:
+        self.requested_workers = workers
         self._workers = resolve_workers(workers)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._shared = False

@@ -44,6 +44,19 @@ class DeliveryPolicy(Protocol):
         """Return the delivery decision for one copy of a message."""
         ...
 
+    def min_delay(self) -> float:
+        """A lower bound on the transit delay of any *delivered* copy.
+
+        The sharded kernel (:mod:`repro.sim.shard`) uses this as its
+        conservative-synchronization lookahead: a shard may safely execute
+        everything below ``min(peer horizons) + min_delay()`` because no
+        cross-shard message can arrive earlier.  The bound must hold for
+        every copy the policy ever delivers (dropped copies are exempt --
+        they never arrive); ``0.0`` is always sound but makes a policy
+        unusable with more than one shard.
+        """
+        ...
+
 
 class FixedDelay:
     """Every message takes exactly ``delay`` time units."""
@@ -57,6 +70,9 @@ class FixedDelay:
         self, sender: int, receiver: int, payload: object, rng: RandomSource
     ) -> DeliveryDecision:
         return DeliveryDecision(delay=self.delay)
+
+    def min_delay(self) -> float:
+        return self.delay
 
 
 class UniformDelay:
@@ -72,6 +88,9 @@ class UniformDelay:
         self, sender: int, receiver: int, payload: object, rng: RandomSource
     ) -> DeliveryDecision:
         return DeliveryDecision(delay=rng.uniform(self.low, self.high))
+
+    def min_delay(self) -> float:
+        return self.low
 
 
 class AdversarialDelay:
@@ -99,6 +118,9 @@ class AdversarialDelay:
             return DeliveryDecision(delay=self.delta_min)
         return DeliveryDecision(delay=self.delta_max)
 
+    def min_delay(self) -> float:
+        return self.delta_min
+
 
 class IncoherentDelivery:
     """Transient-period network behaviour: loss and unbounded delay.
@@ -122,6 +144,11 @@ class IncoherentDelivery:
         if rng.chance(self.drop_probability):
             return DeliveryDecision.dropped()
         return DeliveryDecision(delay=rng.uniform(0.0, self.max_delay))
+
+    def min_delay(self) -> float:
+        # Delivered copies may arrive instantly -- the transient-period
+        # network offers no lookahead at all.
+        return 0.0
 
 
 class BurstyDelay:
@@ -159,6 +186,10 @@ class BurstyDelay:
             return DeliveryDecision(delay=rng.uniform(0.0, self.fast_max))
         return DeliveryDecision(delay=rng.uniform(self.slow_min, self.slow_max))
 
+    def min_delay(self) -> float:
+        # The fast regime's floor is zero regardless of the slow regime.
+        return 0.0
+
 
 class LinkPartitionPolicy:
     """Drops traffic across a node-set cut while active, else delegates.
@@ -184,6 +215,11 @@ class LinkPartitionPolicy:
         if self.active and ((sender in self.island) != (receiver in self.island)):
             return DeliveryDecision.dropped(partition=True)
         return self.inner.decide(sender, receiver, payload, rng)
+
+    def min_delay(self) -> float:
+        # Cross-cut copies are dropped, never delayed, so the wrapper
+        # inherits the inner policy's delivered-copy bound unchanged.
+        return self.inner.min_delay()
 
 
 __all__ = [

@@ -12,6 +12,16 @@ Responsibilities:
   paper's "the communication network may behave arbitrarily";
 * accounting (messages sent / delivered / dropped) for the complexity
   experiments.
+
+Determinism across execution layouts
+------------------------------------
+Per-copy delivery randomness comes from *per-sender* streams (lazy
+``rng.split(f"sender/{i}")`` children of the network's stream), not one
+shared stream in global execution order.  A node's sends always happen while
+that node's own events execute, so each sender's draw sequence depends only
+on its own local history -- the property the sharded kernel
+(:mod:`repro.sim.shard`) relies on to keep delay draws bit-identical no
+matter which shard executes which node.
 """
 
 from __future__ import annotations
@@ -53,6 +63,7 @@ class Network:
         self._sim = sim
         self._policy = policy
         self._rng = rng
+        self._sender_rngs: dict[int, RandomSource] = {}
         self._tracer = tracer
         self._receivers: dict[int, Receiver] = {}
         self._node_ids: Optional[list[int]] = None  # cached sorted ids
@@ -143,7 +154,7 @@ class Network:
             tracer = None
             counts_only.bump_many("send", len(self._node_ids))
         policy = self._policy
-        rng = self._rng
+        rng = self._sender_rng(sender)
         now = self._sim.now
         sender_cut = sender in self._partitioned
         for receiver in self._node_ids:
@@ -186,6 +197,12 @@ class Network:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _sender_rng(self, sender: int) -> RandomSource:
+        rng = self._sender_rngs.get(sender)
+        if rng is None:
+            rng = self._sender_rngs[sender] = self._rng.split(f"sender/{sender}")
+        return rng
+
     def _dispatch(
         self, sender: int, receiver: int, payload: object, authenticated: bool
     ) -> None:
@@ -194,7 +211,7 @@ class Network:
         if sender in self._partitioned or receiver in self._partitioned:
             self.dropped_partition += 1
             return
-        decision = self._policy.decide(sender, receiver, payload, self._rng)
+        decision = self._policy.decide(sender, receiver, payload, self._sender_rng(sender))
         if decision.drop:
             if decision.partition:
                 self.dropped_partition += 1

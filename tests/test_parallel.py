@@ -84,12 +84,28 @@ class TestSeedPool:
         pool.close()
         pool.close()
 
-    def test_resolve_workers(self):
+    def test_resolve_workers(self, monkeypatch):
+        monkeypatch.setattr("repro.harness.parallel._cpu_count", lambda: 8)
         assert resolve_workers(None) == 1
         assert resolve_workers(0) == 1
         assert resolve_workers(1) == 1
         assert resolve_workers(6) == 6
-        assert resolve_workers(-1) >= 1
+        assert resolve_workers(-1) == 8
+
+    def test_resolve_workers_caps_at_core_count(self, monkeypatch):
+        monkeypatch.setattr("repro.harness.parallel._cpu_count", lambda: 4)
+        with pytest.warns(RuntimeWarning, match="exceeds the 4 available"):
+            assert resolve_workers(9) == 4
+        # At or below the core count: taken literally, no warning.
+        assert resolve_workers(4) == 4
+
+    def test_pool_exposes_requested_and_effective_counts(self, monkeypatch):
+        monkeypatch.setattr("repro.harness.parallel._cpu_count", lambda: 2)
+        with pytest.warns(RuntimeWarning):
+            pool = SeedPool(workers=16)
+        assert pool.requested_workers == 16
+        assert pool.workers == 2
+        pool.close()
 
 
 class TestSharedPools:
@@ -98,14 +114,16 @@ class TestSharedPools:
     def teardown_method(self):
         shutdown_shared_pools()
 
-    def test_shared_returns_same_instance_per_worker_count(self):
+    def test_shared_returns_same_instance_per_worker_count(self, monkeypatch):
+        monkeypatch.setattr("repro.harness.parallel._cpu_count", lambda: 8)
         a = SeedPool.shared(2)
         b = SeedPool.shared(2)
         assert a is b
         assert SeedPool.shared(None) is SeedPool.shared(1)
         assert SeedPool.shared(None) is not a
 
-    def test_context_exit_keeps_shared_executor_alive(self):
+    def test_context_exit_keeps_shared_executor_alive(self, monkeypatch):
+        monkeypatch.setattr("repro.harness.parallel._cpu_count", lambda: 8)
         with SeedPool.shared(2) as pool:
             executor = pool._executor
             assert executor is not None
