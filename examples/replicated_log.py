@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The replicated command-log *service* under sustained open-loop load.
+
+Where ``replicated_command_log.py`` replicates a handful of commands one
+paced agreement at a time, this demo runs the full ``repro.service`` stack
+on the asyncio wall-clock backend: an open-loop Poisson client offers
+commands at a fixed rate, the primary's coordinator batches them into
+slot-indexed agreement instances (paper footnote 9 -- no pacing across
+indexes) with a bounded in-flight window, and every replica applies the
+decided slots in order while retiring per-slot protocol state behind a
+contiguous watermark.
+
+What it prints: client-visible throughput and decide-latency percentiles,
+plus the measured live-state peak, which stays O(window) no matter how
+many slots stream through.  What it asserts: every correct replica applied
+the *identical* command sequence.
+
+Run:  python examples/replicated_log.py
+"""
+
+import asyncio
+
+from repro.core.params import ProtocolParams
+from repro.harness.benchrecord import summarize_latencies
+from repro.runtime.aio import AsyncioCluster
+from repro.service import ReplicatedLogService
+
+RATE = 1000.0  # offered commands/s (open loop: arrivals never slow down)
+TOTAL = 5000
+WINDOW = 8
+MAX_BATCH = 128
+TIME_SCALE = 0.1  # d = 100 ms of wall clock
+
+
+async def main() -> None:
+    params = ProtocolParams(n=4, f=1, delta=1.0, rho=0.0)
+    cluster = AsyncioCluster(params, seed=0, time_scale=TIME_SCALE)
+    service = ReplicatedLogService(
+        cluster, primary=0, window=WINDOW, max_batch=MAX_BATCH
+    )
+    print(f"offering {TOTAL} commands at {RATE:g}/s (Poisson) to a "
+          f"{params.n}-node cluster, window={WINDOW}, batch<={MAX_BATCH}...")
+    try:
+        report = await service.run_workload(rate=RATE, total=TOTAL, seed=0)
+    finally:
+        cluster.close()
+
+    lat = summarize_latencies(report.latencies)
+    print(f"\n  {report.commands_per_s:7.0f} commands/s decided "
+          f"({report.instances_per_s:.1f} agreement instances/s, "
+          f"{report.slots_decided} slots, {report.slots_aborted} aborts)")
+    print(f"  decide latency: p50 {lat['p50_ms']:.0f} ms, "
+          f"p99 {lat['p99_ms']:.0f} ms (stamped at theoretical arrival)")
+    print(f"  live protocol state peaked at {report.peak_live_instances} "
+          f"slot instances (bound {report.live_bound}, "
+          f"violations {report.bound_violations}) -- retirement keeps it "
+          f"O(window) across {report.slots_decided} slots")
+
+    # The service's whole point: one identical ordered log everywhere.
+    assert report.identical_logs, "replica sequences diverged"
+    assert report.commands_applied == TOTAL
+    assert len(set(report.digests.values())) == 1
+    print(f"\nAll {len(report.digests)} replicas applied the identical "
+          f"{TOTAL}-command sequence (digest "
+          f"{next(iter(report.digests.values()))}). ✓")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -52,6 +52,22 @@ if ! timeout -k 10 120 python -m repro.cli chaos --n 4 --f 1 --time-scale 0.02; 
 fi
 
 echo
+echo "== service smoke (replicated command log, open-loop 2k commands) =="
+# The pipelined slot-agreement service end-to-end on asyncio: exits
+# non-zero unless every correct replica applied the identical sequence.
+# Hard timeout + CI-only orphan sweep, same discipline as the smokes above
+# (the asyncio backend is in-process, but belt and braces costs nothing).
+if ! timeout -k 10 120 python -m repro.cli serve --backend asyncio \
+        --n 4 --f 1 --commands 2000 --rate 1000 --time-scale 0.1; then
+    echo "service smoke FAILED (timed out, divergence, or lost commands)" >&2
+    sleep 3
+    if [ "${CI:-}" != "" ]; then
+        pkill -f "from multiprocessing.spawn import spawn_main" 2>/dev/null || true
+    fi
+    exit 1
+fi
+
+echo
 echo "== suite smoke (scenario matrix: 2 timelines x 2 seeds) =="
 python -m repro.cli suite --preset smoke --workers 2
 
@@ -92,7 +108,8 @@ echo "== benchmark smoke (kernel + wire micro-benchmarks + asyncio/socket/chaos 
 python -m pytest benchmarks/bench_perf_kernel.py benchmarks/bench_wire.py \
     benchmarks/bench_x4_asyncio_host.py \
     benchmarks/bench_x5_socket_host.py benchmarks/bench_x6_chaos.py \
-    benchmarks/bench_shard_scaling.py --benchmark-only -q
+    benchmarks/bench_shard_scaling.py benchmarks/bench_service.py \
+    --benchmark-only -q
 
 echo
 echo "== validating BENCH_perf.json =="
@@ -129,6 +146,8 @@ required = (
     "x5_socket_host",
     "x6_chaos",
     "shard_scaling",
+    "service_smoke",
+    "service_throughput",
 )
 missing = [name for name in required if name not in results]
 if missing:

@@ -35,6 +35,17 @@ Subcommands::
         Run the havoc -> Delta_stb -> agree stabilization scenario and
         report recovery.  Also accepts ``--seeds``/``--workers``.
 
+    python -m repro.cli serve --backend asyncio --commands 10000 --rate 1000
+        Run the replicated command-log service: pipelined slot-indexed
+        agreement under a sustained open-loop workload, on the asyncio or
+        socket backend.  Prints the server-side report (throughput,
+        agreement instances/s, live-state peaks) and exits non-zero unless
+        every correct replica applied the identical command sequence.
+
+    python -m repro.cli workload --backend asyncio --commands 10000
+        The same run, reported from the client's side: offered vs achieved
+        rate and the per-command decide-latency distribution.
+
     python -m repro.cli suite --preset smoke [--config suite.json]
         Expand a scenario-matrix suite config (grids over n, casts,
         delivery policies and fault timelines), fan scenario x seed over
@@ -252,6 +263,67 @@ def _build_parser() -> argparse.ArgumentParser:
         help="wire codec (default: msgpack; json is the no-dependency fallback)",
     )
     chaos.add_argument("--trace", action="store_true", help="record child traces")
+
+    def add_service_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            choices=("asyncio", "socket"),
+            default="asyncio",
+            help="wall-clock runtime hosting the replicas (default: asyncio)",
+        )
+        p.add_argument("--n", type=int, default=4, help="number of nodes")
+        p.add_argument(
+            "--f", type=int, default=None, help="fault bound (default: max for n)"
+        )
+        p.add_argument("--delta", type=float, default=1.0, help="message delay bound")
+        p.add_argument(
+            "--rho", type=float, default=0.0,
+            help="clock drift bound (default 0: wall clocks share one epoch)",
+        )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--primary", type=int, default=0,
+            help="node hosting the log coordinator (default: 0)",
+        )
+        p.add_argument(
+            "--rate", type=float, default=1000.0,
+            help="open-loop arrival rate, commands/s (default: 1000)",
+        )
+        p.add_argument(
+            "--commands", type=int, default=10_000,
+            help="total commands to issue (default: 10000)",
+        )
+        p.add_argument(
+            "--window", type=int, default=8,
+            help="max agreement slots in flight (default: 8)",
+        )
+        p.add_argument(
+            "--batch", type=int, default=128,
+            help="max commands batched into one slot (default: 128)",
+        )
+        p.add_argument(
+            "--time-scale", type=float, default=0.1,
+            help="wall-clock seconds per protocol time unit (default: 0.1; "
+            "d must outlast scheduler stalls under load)",
+        )
+        p.add_argument(
+            "--fixed", action="store_true",
+            help="fixed-interval arrivals (default: Poisson process)",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the replicated command-log service under an open-loop "
+        "workload and print the server-side report",
+    )
+    add_service_args(serve)
+
+    workload = sub.add_parser(
+        "workload",
+        help="run the replicated-log service and print the client-side view "
+        "(offered vs achieved rate, decide-latency distribution)",
+    )
+    add_service_args(workload)
 
     stab = sub.add_parser("stabilize", help="havoc -> wait Delta_stb -> agree")
     add_model_args(stab)
@@ -639,6 +711,131 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if chaos.ok else 1
 
 
+def _run_service(args: argparse.Namespace):
+    """Run one service workload on the selected backend; returns the report.
+
+    The asyncio report is a :class:`~repro.service.service.ServiceReport`,
+    the socket one a :class:`~repro.service.socket_service.
+    SocketServiceReport`; both carry the fields the printers below read.
+    """
+    f = args.f if args.f is not None else max_faults(args.n)
+    params = ProtocolParams(n=args.n, f=f, delta=args.delta, rho=args.rho)
+    if args.primary >= args.n:
+        print(f"service: primary {args.primary} not in 0..{args.n - 1}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    duration_s = args.commands / args.rate
+    if args.backend == "asyncio":
+        import asyncio
+
+        async def body():
+            from repro.runtime.aio import AsyncioCluster
+            from repro.service import ReplicatedLogService
+
+            cluster = AsyncioCluster(
+                params, seed=args.seed, time_scale=args.time_scale
+            )
+            service = ReplicatedLogService(
+                cluster,
+                primary=args.primary,
+                window=args.window,
+                max_batch=args.batch,
+            )
+            try:
+                return await service.run_workload(
+                    rate=args.rate,
+                    total=args.commands,
+                    seed=args.seed,
+                    poisson=not args.fixed,
+                    drain_timeout_s=max(30.0, 3.0 * duration_s),
+                )
+            finally:
+                cluster.close()
+
+        return asyncio.run(body())
+
+    from repro.service.socket_service import SocketLogService
+
+    # Children exit at this protocol-time deadline no matter what the
+    # parent does -- the orphan backstop.  Budget 3x the offered duration
+    # plus settle slack, converted to units.
+    timeout_units = (3.0 * duration_s + 60.0) / args.time_scale
+    service = SocketLogService(
+        params,
+        primary=args.primary,
+        window=args.window,
+        max_batch=args.batch,
+        seed=args.seed,
+        time_scale=args.time_scale,
+        timeout_units=timeout_units,
+    )
+    return service.run_workload(
+        rate=args.rate,
+        total=args.commands,
+        seed=args.seed,
+        poisson=not args.fixed,
+        settle_timeout_s=max(30.0, duration_s),
+    )
+
+
+def _service_verdict(args: argparse.Namespace, report) -> int:
+    applied = report.commands_applied
+    ok = report.identical_logs and applied == args.commands
+    state = "OK" if ok else "FAIL"
+    print(f"{state}: identical logs at every correct replica: "
+          f"{report.identical_logs}; applied {applied}/{args.commands}")
+    return 0 if ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.harness.benchrecord import summarize_latencies
+
+    report = _run_service(args)
+    lat = summarize_latencies(report.latencies)
+    print(f"backend={args.backend} n={args.n} window={args.window} "
+          f"batch={args.batch} rate={args.rate:g}/s "
+          f"({'fixed' if args.fixed else 'poisson'})")
+    print(f"elapsed:       {report.elapsed_s:.1f}s")
+    print(f"throughput:    {report.commands_per_s:.0f} commands/s, "
+          f"{report.instances_per_s:.1f} agreement instances/s")
+    print(f"slots:         {report.slots_decided} decided, "
+          f"{report.slots_aborted} aborted (aborts requeue; peak in-flight "
+          f"{report.peak_in_flight})")
+    print(f"decide latency: p50 {lat['p50_ms']:.0f}ms  p99 {lat['p99_ms']:.0f}ms  "
+          f"max {lat['max_ms']:.0f}ms")
+    print(f"live state:    peak {report.peak_live_instances} slot instances, "
+          f"{report.peak_live_timers} timers", end="")
+    bound = getattr(report, "live_bound", None)
+    if bound is not None:
+        print(f" (bound {bound}, violations {report.bound_violations} "
+              f"across {report.samples} samples)")
+    else:
+        print()
+    repaired = getattr(report, "repaired_entries", 0)
+    if repaired:
+        print(f"repair:        {repaired} entries adopted via f+1 vouching")
+    return _service_verdict(args, report)
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.harness.benchrecord import summarize_latencies
+
+    report = _run_service(args)
+    lat = summarize_latencies(report.latencies)
+    issued = getattr(report, "commands_issued", None)
+    if issued is None:
+        issued = report.commands_submitted
+    achieved = issued / report.elapsed_s if report.elapsed_s > 0 else 0.0
+    print(f"offered:  {args.rate:g} commands/s "
+          f"({'fixed' if args.fixed else 'poisson'}), {args.commands} total")
+    print(f"achieved: {achieved:.0f} submitted/s, "
+          f"{report.commands_per_s:.0f} decided/s over {report.elapsed_s:.1f}s")
+    print(f"latency (arrival -> decided): p50 {lat['p50_ms']:.0f}ms  "
+          f"p99 {lat['p99_ms']:.0f}ms  mean {lat['mean_ms']:.0f}ms  "
+          f"max {lat['max_ms']:.0f}ms")
+    return _service_verdict(args, report)
+
+
 def cmd_stabilize(args: argparse.Namespace) -> int:
     params = _params(args)
     if args.seeds is not None:
@@ -735,6 +932,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_run_socket(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "workload":
+        return cmd_workload(args)
     if args.command == "stabilize":
         return cmd_stabilize(args)
     if args.command == "suite":

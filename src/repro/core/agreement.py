@@ -164,6 +164,7 @@ class AgreementInstance:
         # value -> level k -> set of origins whose (p, (G, m), k) we accepted
         self.accept_levels: dict[Value, dict[int, set[int]]] = {}
         self._deadline_timers: list = []
+        self._reset_timer = None
         # Incremental Block-S state: cached SDR prefix per value, and the
         # round deadlines for the current anchor (recomputed if a transient
         # fault rewrites ``tau_g`` under us).
@@ -336,11 +337,12 @@ class AgreementInstance:
         )
         self.node.record_decision(decision)
         # 3d after returning: reset the primitives, tau_G, and the anchor.
-        self.node.after_local(
+        self._reset_timer = self.node.after_local(
             3.0 * self.params.d, self._reset_after_return, tag=f"reset:{self.general}"
         )
 
     def _reset_after_return(self) -> None:
+        self._reset_timer = None
         self.reset()
 
     def reset(self) -> None:
@@ -357,6 +359,19 @@ class AgreementInstance:
         for handle in self._deadline_timers:
             handle.cancel()
         self._deadline_timers.clear()
+
+    def retire(self) -> None:
+        """Drop every live timer and all execution state for good.
+
+        ``reset()`` deliberately leaves the 3d post-return timer pending (the
+        paper's recurrence story needs it); a *retired* instance is being
+        removed from the node entirely, so that timer must go too or it keeps
+        the instance object alive in the timer wheel.
+        """
+        self.reset()
+        if self._reset_timer is not None:
+            self._reset_timer.cancel()
+            self._reset_timer = None
 
     # ------------------------------------------------------------------
     # Cleanup (periodic)
@@ -438,6 +453,11 @@ class ProtocolNode(Node):
         self.instances: dict[int, AgreementInstance] = {}
         self.decisions: list[Decision] = []
         self.on_decision = on_decision
+        # Service-layer hook: when set, a message for a general with *no*
+        # existing instance only creates one if the gate returns True.  Lets
+        # a long-lived process refuse to resurrect retired instance keys
+        # from straggler relays without touching the protocol hot path.
+        self.instance_gate: Optional[Callable[[object], bool]] = None
 
         # General-side pacing state (Sending Validity Criteria).
         self._last_initiation: Optional[float] = None
@@ -459,6 +479,20 @@ class ProtocolNode(Node):
         if general not in self.instances:
             self.instances[general] = AgreementInstance(self, general)
         return self.instances[general]
+
+    def retire_instance(self, general) -> bool:
+        """Drop one instance's state and timers entirely (service layer).
+
+        Unlike the periodic cleanup decay, this removes the instance from
+        ``instances`` so the per-``d`` cleanup tick stops visiting it --
+        essential when a long-lived process runs through thousands of
+        slot-indexed instances.  Returns True iff the instance existed.
+        """
+        inst = self.instances.pop(general, None)
+        if inst is None:
+            return False
+        inst.retire()
+        return True
 
     # ------------------------------------------------------------------
     # Block Q0: initiating an agreement as the General
@@ -539,6 +573,9 @@ class ProtocolNode(Node):
             return  # not an ss-Byz-Agree message; ignore silently
         inst = self.instances.get(general)
         if inst is None:
+            gate = self.instance_gate
+            if gate is not None and not gate(general):
+                return
             inst = self.instance(general)
         inst.handle(msg, envelope.sender)
 

@@ -29,6 +29,16 @@ from repro.core.messages import InitiatorMsg, Value
 IndexedKey = tuple[int, int]  # (general node id, index)
 
 
+class IndexReuseError(ValueError):
+    """An index was reused within ``Delta_v`` of its previous initiation.
+
+    Footnote 9 removes the *cross*-index pacing, but the per-instance
+    Sending Validity Criteria still apply: a correct General must not
+    reinitiate the same ``(G, index)`` instance within ``Delta_v``, or
+    receivers can confuse the two executions' messages.
+    """
+
+
 def indexed_general(general: int, index: int) -> IndexedKey:
     """The instance key for invocation ``index`` of ``general``."""
     return (general, index)
@@ -63,12 +73,29 @@ class ConcurrentGeneral:
         if index is None:
             index = self.next_index
             self.next_index += 1
+        else:
+            # Keep the allocator ahead of explicit indexes so a later
+            # default-allocated propose cannot collide with this one.
+            self.next_index = max(self.next_index, index + 1)
         now = self.node.local_now()
+        delta_v = self.node.params.delta_v
         last = self._index_last_used.get(index)
-        if last is not None and now - last < self.node.params.delta_v:
-            raise ValueError(
-                f"index {index} reused within Delta_v -- allocate a fresh one"
+        if last is not None and now - last < delta_v:
+            raise IndexReuseError(
+                f"index {index} reused within Delta_v ({now - last:.3f} time "
+                f"units after its previous initiation, Delta_v = "
+                f"{delta_v:.3f}); a correct General must allocate a fresh "
+                f"index"
             )
+        # Amortized pruning keeps the pacing map bounded in a long-lived
+        # process: stamps are inserted in monotone time order, so expired
+        # entries cluster at the front.
+        while self._index_last_used:
+            stale = next(iter(self._index_last_used))
+            if now - self._index_last_used[stale] <= delta_v:
+                break
+            del self._index_last_used[stale]
+        self._index_last_used.pop(index, None)
         self._index_last_used[index] = now
         key = indexed_general(self.node.node_id, index)
         # The General clears its own prior messages for this instance.
@@ -108,4 +135,9 @@ class ConcurrentGeneral:
         return out
 
 
-__all__ = ["ConcurrentGeneral", "IndexedKey", "indexed_general"]
+__all__ = [
+    "ConcurrentGeneral",
+    "IndexReuseError",
+    "IndexedKey",
+    "indexed_general",
+]

@@ -28,7 +28,62 @@ from repro.extensions.concurrent import ConcurrentGeneral
 ApplyCallback = Callable[[int, Value], None]
 
 
-class Replica:
+class DecisionTap:
+    """A chainable ``node.on_decision`` observer with clean teardown.
+
+    Observers stack: each tap remembers the callback that was installed
+    before it and forwards every decision to it, so several independent
+    observers (service metrics, a replica, a test probe) compose on one
+    node.  :meth:`detach` splices the tap back *out* of the chain wherever
+    it sits -- head or middle -- so observers can tear down in any order
+    without orphaning each other.
+
+    Subclasses implement :meth:`_on_decision`.
+    """
+
+    def __init__(self, node: ProtocolNode) -> None:
+        self.node = node
+        self._previous = node.on_decision
+        self._detached = False
+        node.on_decision = self._dispatch
+
+    def _dispatch(self, decision: Decision) -> None:
+        if self._previous is not None:
+            self._previous(decision)
+        if not self._detached:
+            self._on_decision(decision)
+
+    def _on_decision(self, decision: Decision) -> None:
+        raise NotImplementedError
+
+    def detach(self) -> None:
+        """Remove this tap from the node's decision chain.
+
+        Restores ``node.on_decision`` to the previous callback when this
+        tap is at the head; when a later tap was stacked on top, the later
+        tap's back-pointer is re-spliced past this one instead.  If a
+        foreign (non-tap) callback was interposed the tap cannot be
+        spliced out structurally; it stays in the chain as an inert
+        pass-through.
+        """
+        if self._detached:
+            return
+        self._detached = True
+        if self.node.on_decision == self._dispatch:
+            self.node.on_decision = self._previous
+            return
+        cursor = self.node.on_decision
+        while cursor is not None:
+            owner = getattr(cursor, "__self__", None)
+            if not isinstance(owner, DecisionTap):
+                return
+            if owner._previous == self._dispatch:
+                owner._previous = self._previous
+                return
+            cursor = owner._previous
+
+
+class Replica(DecisionTap):
     """Applies decided commands in index order."""
 
     def __init__(
@@ -37,21 +92,17 @@ class Replica:
         primary: int,
         on_apply: Optional[ApplyCallback] = None,
     ) -> None:
-        self.node = node
         self.primary = primary
         self.on_apply = on_apply
         self.applied: list[tuple[int, Value]] = []
         self._pending: dict[int, Value] = {}
         self._next_index = 0
-        self._previous_callback = node.on_decision
-        node.on_decision = self._on_decision
+        super().__init__(node)
 
     # ------------------------------------------------------------------
     # Decision intake
     # ------------------------------------------------------------------
     def _on_decision(self, decision: Decision) -> None:
-        if self._previous_callback is not None:
-            self._previous_callback(decision)
         general = decision.general
         if not (
             decision.decided
@@ -123,4 +174,4 @@ class ReplicatedStateMachine:
         return all(log == longest[: len(log)] for log in logs)
 
 
-__all__ = ["ApplyCallback", "Replica", "ReplicatedStateMachine"]
+__all__ = ["ApplyCallback", "DecisionTap", "Replica", "ReplicatedStateMachine"]

@@ -35,11 +35,51 @@ def has_results() -> bool:
     return bool(_RESULTS)
 
 
+def summarize_latencies(latencies: list[float]) -> dict[str, float]:
+    """Percentile summary of a latency sample, in milliseconds.
+
+    Returns ``{"p50_ms", "p99_ms", "mean_ms", "max_ms"}`` (zeros for an
+    empty sample) -- the flat shape ``record_bench_result`` expects.
+    Percentiles use the nearest-rank method on the sorted sample.
+    """
+    if not latencies:
+        return {"p50_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0, "max_ms": 0.0}
+    ordered = sorted(latencies)
+    count = len(ordered)
+
+    def rank(q: float) -> float:
+        return ordered[min(count - 1, int(q * count))]
+
+    return {
+        "p50_ms": rank(0.50) * 1000.0,
+        "p99_ms": rank(0.99) * 1000.0,
+        "mean_ms": sum(ordered) / count * 1000.0,
+        "max_ms": ordered[-1] * 1000.0,
+    }
+
+
+def _cpu_model() -> str:
+    # platform.platform() + cpu_count cannot tell two physical hosts
+    # running the same VM image apart, and absolute throughputs easily
+    # differ 30% across host generations -- the regression differ treats
+    # rows whose machine blocks differ as cross-machine (ratio-only), so
+    # the block must capture the actual silicon.
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or "unknown"
+
+
 def _machine() -> dict:
     return {
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "cpu": _cpu_model(),
     }
 
 
@@ -74,4 +114,9 @@ def write_bench_json(path: Path) -> int:
     return len(existing)
 
 
-__all__ = ["has_results", "record_bench_result", "write_bench_json"]
+__all__ = [
+    "has_results",
+    "record_bench_result",
+    "summarize_latencies",
+    "write_bench_json",
+]

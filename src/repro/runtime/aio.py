@@ -519,6 +519,13 @@ class AsyncioCluster:
     # ------------------------------------------------------------------
     # Decision plumbing
     # ------------------------------------------------------------------
+    def protocol_node(self, node_id: int) -> ProtocolNode:
+        """The correct node's protocol state (sim-Cluster-compatible)."""
+        node = self.nodes[node_id]
+        if not isinstance(node, ProtocolNode):
+            raise TypeError(f"node {node_id} is not a correct protocol node")
+        return node
+
     def _on_decision(self, decision: Decision) -> None:
         self._decision_seen.set()
 

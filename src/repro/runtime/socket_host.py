@@ -505,8 +505,14 @@ async def _child_run(
         tracer=tracer,
     )
     decisions: list[Decision] = []
+    service_cfg = cfg.get("service")
 
     def on_decision(decision: Decision) -> None:
+        if service_cfg is not None:
+            # Service mode runs thousands of slot decisions; per-decision
+            # streaming would flood the pipe.  Progress flows through the
+            # child service's rate-limited "applied" reports instead.
+            return
         decisions.append(decision)
         try:
             conn.send(("decision", node_id, decision))
@@ -522,6 +528,12 @@ async def _child_run(
         if not hasattr(strategy, "install"):
             strategy = strategy(root.split(f"byz/{node_id}"))
         node = ByzantineNode(node_id, host, params, strategy)
+
+    service = None
+    if service_cfg is not None and strategy is None:
+        from repro.service.socket_service import ChildLogService
+
+        service = ChildLogService(node, service_cfg, conn)
 
     if cfg.get("scramble") and strategy is None:
         # A supervisor-respawned incarnation restarting from "arbitrary
@@ -585,9 +597,13 @@ async def _child_run(
                         # parent's script was validated, so this is belt
                         # and braces.
                         pass
+                elif service is not None:
+                    service.handle(msg)
         except (EOFError, OSError):
             stop = True
         if not stop:
+            if service is not None:
+                service.tick(host)
             await asyncio.sleep(0.02)
 
     # Snapshot *before* close(): what teardown had to reap.  A running node
@@ -617,6 +633,7 @@ async def _child_run(
                     for ev in tracer.events
                 ],
                 "trace_counts": tracer.counts(),
+                "service": service.result() if service is not None else None,
             },
         )
     )
@@ -726,6 +743,10 @@ class SocketCluster:
     through a :class:`~repro.faults.live.WallClockFaultDriver` on the
     shared epoch.
     """
+
+    #: Service-mode config shipped to children (set by SocketLogService
+    #: before the base __init__ spawns them; None = plain agreement run).
+    _service_cfg: Optional[dict] = None
 
     def __init__(
         self,
@@ -841,6 +862,7 @@ class SocketCluster:
             "codec": self.codec,
             "coalesce": self.coalesce,
             "uvloop": self.uvloop,
+            "service": self._service_cfg,
         }
 
     def _spawn(

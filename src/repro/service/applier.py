@@ -1,0 +1,188 @@
+"""Replica-side applier with per-slot protocol-state retirement.
+
+Extends the :class:`~repro.extensions.state_machine.Replica` gap-healing
+applier for service duty:
+
+* **Aborted slots become skips.**  ss-Byz-Agree's Agreement property covers
+  BOTTOM: when a slot aborts, it aborts at every correct node, so recording
+  the slot as an empty skip (and letting the coordinator re-submit its
+  commands under a fresh slot) keeps all replicas' applied sequences
+  identical without any extra coordination.
+* **Applied slots retire.**  ``retire_after_d`` protocol-time units after a
+  slot's decision lands, its :class:`~repro.core.agreement.
+  AgreementInstance` is removed from the node entirely (state, timers, and
+  its share of the cleanup tick's work).  Retirement advances a contiguous
+  watermark in slot order -- a slot is only retired once every slot below
+  it has been applied and retired -- so the node's
+  :attr:`~repro.core.agreement.ProtocolNode.instance_gate` can refuse to
+  resurrect retired keys from straggler relays with one monotone check.
+
+The delay must comfortably exceed the protocol's own ``3d`` post-return
+reset, so slow peers still receive this node's relays for the slot while
+they matter; the default ``6d`` leaves the full relay tail intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional
+
+from typing import Callable
+
+from repro.core.agreement import Decision, ProtocolNode
+from repro.core.params import BOTTOM
+from repro.extensions.state_machine import ApplyCallback, Replica
+
+
+class ReplicaApplier(Replica):
+    """Applies decided slots in order, then retires their protocol state."""
+
+    def __init__(
+        self,
+        node: ProtocolNode,
+        primary: int,
+        retire_after_d: float = 6.0,
+        on_apply: Optional[ApplyCallback] = None,
+    ) -> None:
+        self.retire_after_d = retire_after_d
+        #: Slot indexes that aborted (recorded so sequences stay dense).
+        self.skipped: list[int] = []
+        #: Individual commands applied (a slot value is a batch tuple).
+        self.commands_applied = 0
+        self.retired_count = 0
+        self._retire_ready: set[int] = set()
+        self._retire_next = 0
+        self._outcomes: dict[int, object] = {}
+        #: Called with the new watermark whenever retirement advances; the
+        #: service wires the primary's applier to the coordinator's
+        #: :meth:`~repro.service.coordinator.LogCoordinator.notify_retired`
+        #: so a launch pipeline gated on unretired slots resumes promptly.
+        self.on_retire: Optional[Callable[[int], None]] = None
+        super().__init__(node, primary, on_apply)
+        node.instance_gate = self._gate
+
+    # ------------------------------------------------------------------
+    # Decision intake (aborts included, unlike the base Replica)
+    # ------------------------------------------------------------------
+    def _on_decision(self, decision: Decision) -> None:
+        general = decision.general
+        if not (isinstance(general, tuple) and general[0] == self.primary):
+            return
+        index = general[1]
+        if index < self._next_index or index in self._pending:
+            return  # duplicate (e.g. a re-decision after recovery)
+        self._pending[index] = decision.value
+        self._drain()
+        self._schedule_retire(index)
+
+    def _drain(self) -> None:
+        while self._next_index in self._pending:
+            value = self._pending.pop(self._next_index)
+            self._outcomes[self._next_index] = value
+            if value is BOTTOM:
+                self.skipped.append(self._next_index)
+            else:
+                self.applied.append((self._next_index, value))
+                self.commands_applied += (
+                    len(value) if isinstance(value, tuple) else 1
+                )
+                if self.on_apply is not None:
+                    self.on_apply(self._next_index, value)
+            self._next_index += 1
+
+    # ------------------------------------------------------------------
+    # Retirement (measured, contiguous, gate-backed)
+    # ------------------------------------------------------------------
+    def _schedule_retire(self, index: int) -> None:
+        self.node.after_local(
+            self.retire_after_d * self.node.params.d,
+            lambda: self._mark_retirable(index),
+            tag=f"retire:{self.primary}:{index}",
+        )
+
+    def _mark_retirable(self, index: int) -> None:
+        if index < self._retire_next:
+            return  # already past the watermark (stale timer after churn)
+        self._retire_ready.add(index)
+        self._advance_retirement()
+
+    def _advance_retirement(self) -> None:
+        # The watermark only moves through *applied* slots, in order, so the
+        # gate below stays a single monotone comparison.
+        before = self._retire_next
+        while self._retire_next < self._next_index:
+            slot = self._retire_next
+            if slot in self._retire_ready:
+                self._retire_ready.discard(slot)
+                if self.node.retire_instance((self.primary, slot)):
+                    self.retired_count += 1
+                self._retire_next += 1
+            elif (self.primary, slot) not in self.node.instances:
+                # Nothing to retire: the instance was wiped by a crash (its
+                # retire timer died with the node's timers).
+                self._retire_next += 1
+            else:
+                break
+        if self._retire_next > before and self.on_retire is not None:
+            self.on_retire(self._retire_next)
+
+    def _gate(self, general: object) -> bool:
+        if isinstance(general, tuple) and general[0] == self.primary:
+            return general[1] >= self._retire_next
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection and catch-up
+    # ------------------------------------------------------------------
+    @property
+    def next_index(self) -> int:
+        """First slot index not yet applied or skipped."""
+        return self._next_index
+
+    @property
+    def retire_watermark(self) -> int:
+        """First slot index not yet retired (contiguous from zero)."""
+        return self._retire_next
+
+    @property
+    def live_slot_instances(self) -> int:
+        """This primary's slot instances still held by the node."""
+        primary = self.primary
+        return sum(
+            1
+            for key in self.node.instances
+            if isinstance(key, tuple) and key[0] == primary
+        )
+
+    def digest(self) -> str:
+        """Order-sensitive digest of the applied (index, value) sequence."""
+        h = hashlib.sha256()
+        for index, value in self.applied:
+            h.update(repr((index, value)).encode())
+        return h.hexdigest()[:16]
+
+    def outcome(self, index: int) -> Optional[object]:
+        """The finalized outcome of one slot (BOTTOM = skipped), if known."""
+        return self._outcomes.get(index)
+
+    def adopt_entries(self, entries: Iterable[tuple[int, object]]) -> int:
+        """Catch-up: adopt slot outcomes fetched out of band.
+
+        ``entries`` are ``(index, value)`` pairs (value ``BOTTOM`` for a
+        skipped slot) whose provenance the *caller* vouches for -- the
+        service layer only adopts outcomes matching at f+1 peers, so at
+        least one correct replica applied each.  Returns how many entries
+        were new.
+        """
+        adopted = 0
+        for index, value in entries:
+            if index < self._next_index or index in self._pending:
+                continue
+            self._pending[index] = value
+            adopted += 1
+        if adopted:
+            self._drain()
+        return adopted
+
+
+__all__ = ["ReplicaApplier"]

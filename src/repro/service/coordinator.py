@@ -1,0 +1,195 @@
+"""Primary-side log coordinator: a bounded pipeline of slot agreements.
+
+Turns a stream of client commands into slot-indexed
+:class:`~repro.extensions.concurrent.ConcurrentGeneral` invocations:
+
+* **Batching.**  Up to ``max_batch`` queued commands become one agreement
+  value (a tuple of command strings), so a single protocol execution
+  carries many commands -- the ratio is the service's main throughput
+  lever, bounded above by the wire layer's frame-size limit.
+* **Windowing.**  At most ``window`` slots are in flight (launched but not
+  yet returned at the primary).  The window bounds message pressure; new
+  slots launch the moment an in-flight slot returns.
+* **Retirement gate.**  Live protocol state is decided-but-not-yet-retired
+  slots as much as in-flight ones, and the retirement delay (``6d``) can
+  dwarf a fast-path decide -- so a window on undecided slots alone does
+  *not* bound live state.  When wired to the local applier's retirement
+  watermark (``retired_watermark``), the coordinator additionally refuses
+  to launch while more than ``unretired_cap`` (default ``3 * window``)
+  slots are launched but unretired, turning the service's O(window)
+  live-state bound into an enforced invariant instead of an emergent one.
+  The applier pokes :meth:`notify_retired` as its watermark advances so a
+  gated pipeline resumes without waiting for a decision.
+* **Back-pressure.**  The submit queue is bounded; :meth:`submit` awaits
+  until space frees.  An open-loop client that stamps arrivals at their
+  theoretical instants therefore *measures* the queueing this causes
+  instead of silently throttling the offered load.
+* **Abort recovery.**  A slot that returns BOTTOM aborted identically at
+  every correct replica (Agreement covers BOTTOM), and the applier records
+  it as a skip -- so the coordinator re-enqueues the batch at the *front*
+  of the queue for a fresh slot.  Commands are never lost and never
+  applied twice.
+
+Latency stamps use a wall-clock ``clock`` (monotonic seconds), decoupled
+from protocol time: command latency is client-visible time from (stamped)
+arrival to the slot's decision at the primary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Callable, Optional
+
+from repro.core.agreement import Decision, ProtocolNode
+from repro.core.params import BOTTOM
+from repro.extensions.concurrent import ConcurrentGeneral
+from repro.extensions.state_machine import DecisionTap
+
+
+class LogCoordinator(DecisionTap):
+    """Pipelines batched client commands through slot-indexed agreement."""
+
+    def __init__(
+        self,
+        node: ProtocolNode,
+        window: int = 8,
+        max_batch: int = 64,
+        max_queue: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+        retired_watermark: Optional[Callable[[], int]] = None,
+        unretired_cap: Optional[int] = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.window = window
+        self.max_batch = max_batch
+        #: Local retirement watermark (first slot not yet retired); when
+        #: set, launches gate on ``unretired_cap`` as documented above.
+        self.retired_watermark = retired_watermark
+        self.unretired_cap = (
+            unretired_cap if unretired_cap is not None else 3 * window
+        )
+        #: Submit-queue bound: two full windows' worth of batched commands.
+        self.max_queue = (
+            max_queue if max_queue is not None else 2 * window * max_batch
+        )
+        self.clock = clock
+        self._queue: deque[tuple[object, float]] = deque()
+        self._in_flight: dict[int, list[tuple[object, float]]] = {}
+        #: Decide-latency per command, seconds from stamped arrival.
+        self.latencies: list[float] = []
+        self.commands_submitted = 0
+        self.commands_decided = 0
+        self.slots_launched = 0
+        self.slots_decided = 0
+        self.slots_aborted = 0
+        self.peak_in_flight = 0
+        self._space = asyncio.Event()
+        self._space.set()
+        self._drained = asyncio.Event()
+        self._drained.set()
+        self.general = ConcurrentGeneral(node)
+        super().__init__(node)
+
+    # ------------------------------------------------------------------
+    # Client session API
+    # ------------------------------------------------------------------
+    async def submit(self, command: object, arrival: Optional[float] = None) -> None:
+        """Enqueue one command, awaiting queue space (back-pressure).
+
+        ``arrival`` is the command's latency-stamp origin (``clock()``
+        units); an open-loop generator passes the theoretical arrival
+        instant so queueing delay counts against the latency.
+        """
+        while len(self._queue) >= self.max_queue:
+            self._space.clear()
+            await self._space.wait()
+        self.submit_nowait(command, arrival)
+
+    def submit_nowait(self, command: object, arrival: Optional[float] = None) -> None:
+        """Enqueue one command without waiting (queue bound not enforced)."""
+        stamp = arrival if arrival is not None else self.clock()
+        self._queue.append((command, stamp))
+        self.commands_submitted += 1
+        self._drained.clear()
+        self._launch()
+
+    @property
+    def backlog(self) -> int:
+        """Commands queued but not yet assigned to a slot."""
+        return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        """Slots launched but not yet returned at the primary."""
+        return len(self._in_flight)
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+    @property
+    def unretired(self) -> int:
+        """Slots launched but not yet retired at the local replica."""
+        if self.retired_watermark is None:
+            return len(self._in_flight)
+        return self.general.next_index - self.retired_watermark()
+
+    def notify_retired(self) -> None:
+        """Re-open the launch gate after the retirement watermark moved."""
+        self._launch()
+
+    def _launch(self) -> None:
+        queue = self._queue
+        gated = self.retired_watermark is not None
+        while queue and len(self._in_flight) < self.window:
+            if gated and self.unretired >= self.unretired_cap:
+                break
+            batch = []
+            while queue and len(batch) < self.max_batch:
+                batch.append(queue.popleft())
+            slot = self.general.propose(tuple(cmd for cmd, _stamp in batch))
+            self._in_flight[slot] = batch
+            self.slots_launched += 1
+            if len(self._in_flight) > self.peak_in_flight:
+                self.peak_in_flight = len(self._in_flight)
+        if len(queue) < self.max_queue and not self._space.is_set():
+            self._space.set()
+
+    def _on_decision(self, decision: Decision) -> None:
+        general = decision.general
+        if not (
+            isinstance(general, tuple) and general[0] == self.node.node_id
+        ):
+            return
+        batch = self._in_flight.pop(general[1], None)
+        if batch is None:
+            return  # not ours / already settled (re-decision after churn)
+        if decision.value is BOTTOM:
+            self.slots_aborted += 1
+            # Every correct replica skipped this slot identically; the
+            # commands go back to the head of the queue for a fresh slot.
+            self._queue.extendleft(reversed(batch))
+        else:
+            self.slots_decided += 1
+            now = self.clock()
+            self.commands_decided += len(batch)
+            latencies = self.latencies
+            for _cmd, stamp in batch:
+                latencies.append(now - stamp)
+        self._launch()
+        if not self._queue and not self._in_flight:
+            self._drained.set()
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    async def drain(self, timeout_s: Optional[float] = None) -> None:
+        """Wait until every submitted command's slot has decided."""
+        await asyncio.wait_for(self._drained.wait(), timeout_s)
+
+
+__all__ = ["LogCoordinator"]

@@ -1,0 +1,362 @@
+"""The replicated-log service across OS processes (UDP socket backend).
+
+The same coordinator/applier stack as the asyncio service, but each node
+lives in its own process: the parent never runs protocol code, it only
+feeds the primary child client commands over the control pipe and watches
+per-child apply progress come back.
+
+Wire-level protocol over the existing control/results pipes:
+
+* parent -> child: ``("cmds", [(command, arrival_wall), ...])`` -- a batch
+  of client commands for the primary's coordinator (ignored by replicas).
+* child -> parent: ``("applied", node_id, next_slot, commands_applied)`` --
+  rate-limited apply progress, so the parent knows when every replica has
+  caught up without streaming per-slot decisions.
+* the final ``("result", ...)`` payload gains a ``"service"`` dict with the
+  child's applied-log digest, counters, peak live-instance/timer readings,
+  and (on the primary) the per-command latency list.
+
+Latency stamps use ``time.time()`` wall clock: parent and children share
+the machine, so cross-process stamps are directly comparable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing.connection
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.agreement import ProtocolNode
+from repro.core.params import ProtocolParams
+from repro.runtime.socket_host import SocketCluster
+from repro.service.applier import ReplicaApplier
+from repro.service.coordinator import LogCoordinator
+
+
+class ChildLogService:
+    """Per-child service state: an applier everywhere, a coordinator on the
+    primary.  Driven from the socket child's poll loop."""
+
+    PROGRESS_INTERVAL_S = 0.1
+
+    def __init__(self, node: ProtocolNode, service_cfg: dict, conn) -> None:
+        self.node = node
+        self.conn = conn
+        self.primary = service_cfg["primary"]
+        self.applier = ReplicaApplier(
+            node,
+            self.primary,
+            retire_after_d=service_cfg.get("retire_after_d", 6.0),
+        )
+        self.coordinator: Optional[LogCoordinator] = None
+        if node.node_id == self.primary:
+            self.coordinator = LogCoordinator(
+                node,
+                window=service_cfg.get("window", 8),
+                max_batch=service_cfg.get("max_batch", 64),
+                clock=time.time,
+                retired_watermark=lambda: self.applier.retire_watermark,
+            )
+            self.applier.on_retire = (
+                lambda _watermark: self.coordinator.notify_retired()
+            )
+        self.peak_live_instances = 0
+        self.peak_live_timers = 0
+        self._last_progress = 0.0
+        self._last_reported = (-1, -1)
+
+    # ------------------------------------------------------------------
+    # Pipe intake (called from the child poll loop)
+    # ------------------------------------------------------------------
+    def handle(self, msg: tuple) -> bool:
+        """Consume one control message; True iff it was service traffic."""
+        if msg[0] != "cmds":
+            return False
+        if self.coordinator is not None:
+            for command, arrival in msg[1]:
+                self.coordinator.submit_nowait(command, arrival)
+        return True
+
+    def tick(self, host) -> None:
+        """Sample state and report progress (rate-limited); poll-loop hook."""
+        live = self.applier.live_slot_instances
+        if live > self.peak_live_instances:
+            self.peak_live_instances = live
+        timers = host.live_timer_count()
+        if timers > self.peak_live_timers:
+            self.peak_live_timers = timers
+        now = time.monotonic()
+        if now - self._last_progress < self.PROGRESS_INTERVAL_S:
+            return
+        self._last_progress = now
+        progress = (self.applier.next_index, self.applier.commands_applied)
+        if progress == self._last_reported:
+            return
+        self._last_reported = progress
+        try:
+            self.conn.send(
+                ("applied", self.node.node_id, progress[0], progress[1])
+            )
+        except (BrokenPipeError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Final result
+    # ------------------------------------------------------------------
+    def result(self) -> dict:
+        applier = self.applier
+        out = {
+            "digest": applier.digest(),
+            "next_slot": applier.next_index,
+            "commands_applied": applier.commands_applied,
+            "skipped_slots": len(applier.skipped),
+            "retired": applier.retired_count,
+            "live_slot_instances": applier.live_slot_instances,
+            "peak_live_instances": self.peak_live_instances,
+            "peak_live_timers": self.peak_live_timers,
+        }
+        coordinator = self.coordinator
+        if coordinator is not None:
+            out.update(
+                commands_submitted=coordinator.commands_submitted,
+                commands_decided=coordinator.commands_decided,
+                slots_launched=coordinator.slots_launched,
+                slots_decided=coordinator.slots_decided,
+                slots_aborted=coordinator.slots_aborted,
+                peak_in_flight=coordinator.peak_in_flight,
+                latencies=list(coordinator.latencies),
+            )
+        return out
+
+
+@dataclass
+class SocketServiceReport:
+    """Parent-side view of one socket-backend service run."""
+
+    elapsed_s: float
+    commands_issued: int
+    commands_decided: int
+    #: Commands applied at every correct replica (min across them).
+    commands_applied: int
+    slots_launched: int
+    slots_decided: int
+    slots_aborted: int
+    peak_in_flight: int
+    peak_live_instances: int
+    peak_live_timers: int
+    latencies: list[float] = field(default_factory=list)
+    identical_logs: bool = False
+    digests: dict[int, str] = field(default_factory=dict)
+    applied_per_replica: dict[int, int] = field(default_factory=dict)
+    exit_reasons: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def commands_per_s(self) -> float:
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.commands_decided / self.elapsed_s
+
+    @property
+    def instances_per_s(self) -> float:
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return (self.slots_decided + self.slots_aborted) / self.elapsed_s
+
+
+class SocketLogService(SocketCluster):
+    """Parent-side driver for the replicated-log service over UDP children.
+
+    Construction spawns the children with service mode enabled (an applier
+    per correct node, the coordinator in the primary's process);
+    :meth:`run_workload` then plays the open-loop generator from the
+    parent, shipping due arrivals down the primary's control pipe in
+    batches and waiting for every correct child's ``applied`` progress to
+    reach the offered total.
+    """
+
+    #: Max commands per ("cmds", ...) pipe message.
+    PIPE_BATCH = 512
+
+    def __init__(
+        self,
+        params: ProtocolParams,
+        primary: int = 0,
+        window: int = 8,
+        max_batch: int = 64,
+        retire_after_d: float = 6.0,
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("value", None)
+        self._service_cfg = {
+            "primary": primary,
+            "window": window,
+            "max_batch": max_batch,
+            "retire_after_d": retire_after_d,
+        }
+        self.primary = primary
+        #: node_id -> (next_slot, commands_applied) progress reports.
+        self.progress: dict[int, tuple[int, int]] = {}
+        super().__init__(params, general=primary, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Pipe intake
+    # ------------------------------------------------------------------
+    def _dispatch(self, report, results, node_id, conn, msg) -> None:
+        if msg[0] == "applied":
+            _tag, sender_id, next_slot, applied = msg
+            self.progress[sender_id] = (next_slot, applied)
+            return
+        super()._dispatch(report, results, node_id, conn, msg)
+
+    def _caught_up(self, total: int) -> bool:
+        for node_id in self.correct_ids:
+            if node_id in self._retired:
+                continue
+            held = self.progress.get(node_id)
+            if held is None or held[1] < total:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run_workload(
+        self,
+        rate: float,
+        total: int,
+        seed: int = 0,
+        poisson: bool = True,
+        settle_timeout_s: float = 30.0,
+    ) -> SocketServiceReport:
+        """Sustain the open-loop workload to completion; returns the report.
+
+        ``settle_timeout_s`` bounds how long the parent waits for every
+        replica to catch up after the last arrival was issued.
+        """
+        if not self._started:
+            self._start_children()
+        rng = random.Random(seed)
+        # Begin the arrival schedule at the shared epoch, when every child
+        # is armed -- stamps stay comparable across the process tree.
+        start = max(time.time(), self._epoch_wall or 0.0)
+        offset = 0.0
+        issued = 0
+        settle_deadline: Optional[float] = None
+        results = self._results
+        outbox: list[tuple[str, float]] = []
+        while True:
+            if self._driver is not None:
+                self._driver.pump()
+            self._pump_supervisor()
+            now_wall = time.time()
+            while issued < total and start + offset <= now_wall:
+                outbox.append((f"cmd{issued}", start + offset))
+                issued += 1
+                offset += rng.expovariate(rate) if poisson else 1.0 / rate
+                if len(outbox) >= self.PIPE_BATCH:
+                    break
+            if outbox:
+                conn = self.conns.get(self.primary)
+                if conn is None:
+                    break  # primary died; the run cannot make progress
+                try:
+                    conn.send(("cmds", outbox))
+                except (BrokenPipeError, OSError):
+                    break
+                outbox = []
+            if issued >= total:
+                if settle_deadline is None:
+                    settle_deadline = time.monotonic() + settle_timeout_s
+                if self._caught_up(total):
+                    break
+                if time.monotonic() > settle_deadline:
+                    break
+            waitable = list(self.conns.values())
+            if not waitable:
+                break
+            ready = multiprocessing.connection.wait(waitable, timeout=0.02)
+            for conn in ready:
+                node_id = next(
+                    (i for i, c in self.conns.items() if c is conn), None
+                )
+                if node_id is None:
+                    continue
+                msg = self._safe_recv(node_id, conn)
+                if msg is None:
+                    continue
+                self._dispatch(None, results, node_id, conn, msg)
+        elapsed = time.time() - start
+        self._send_stop()
+        self._stop_sent = True
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            waitable = {
+                node_id: conn
+                for node_id, conn in self.conns.items()
+                if node_id not in results
+            }
+            if not waitable:
+                break
+            ready = multiprocessing.connection.wait(
+                list(waitable.values()), timeout=0.1
+            )
+            for conn in ready:
+                node_id = next(i for i, c in waitable.items() if c is conn)
+                msg = self._safe_recv(node_id, conn)
+                if msg is None:
+                    continue
+                self._dispatch(None, results, node_id, conn, msg)
+        report = self._service_report(elapsed, issued, results)
+        self.close()
+        return report
+
+    def _service_report(
+        self, elapsed_s: float, issued: int, results: dict[int, dict]
+    ) -> SocketServiceReport:
+        service_by_node = {
+            node_id: payload.get("service")
+            for node_id, payload in results.items()
+            if node_id in self.correct_ids and payload.get("service")
+        }
+        digests = {
+            node_id: svc["digest"] for node_id, svc in service_by_node.items()
+        }
+        applied = {
+            node_id: svc["commands_applied"]
+            for node_id, svc in service_by_node.items()
+        }
+        primary_svc = service_by_node.get(self.primary, {})
+        identical = (
+            len(digests) == len(
+                [i for i in self.correct_ids if i not in self._retired]
+            )
+            and len(set(digests.values())) == 1
+        )
+        return SocketServiceReport(
+            elapsed_s=elapsed_s,
+            commands_issued=issued,
+            commands_decided=primary_svc.get("commands_decided", 0),
+            commands_applied=min(applied.values()) if applied else 0,
+            slots_launched=primary_svc.get("slots_launched", 0),
+            slots_decided=primary_svc.get("slots_decided", 0),
+            slots_aborted=primary_svc.get("slots_aborted", 0),
+            peak_in_flight=primary_svc.get("peak_in_flight", 0),
+            peak_live_instances=max(
+                (svc["peak_live_instances"] for svc in service_by_node.values()),
+                default=0,
+            ),
+            peak_live_timers=max(
+                (svc["peak_live_timers"] for svc in service_by_node.values()),
+                default=0,
+            ),
+            latencies=list(primary_svc.get("latencies", ())),
+            identical_logs=identical,
+            digests=digests,
+            applied_per_replica=applied,
+            exit_reasons=dict(self._exit_reason),
+        )
+
+
+__all__ = ["ChildLogService", "SocketLogService", "SocketServiceReport"]

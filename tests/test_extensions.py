@@ -5,7 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.core.params import ProtocolParams
-from repro.extensions.concurrent import ConcurrentGeneral, indexed_general
+from repro.extensions.concurrent import (
+    ConcurrentGeneral,
+    IndexReuseError,
+    indexed_general,
+)
 from repro.extensions.pulse_sync import PulseConfig, PulseSyncCluster
 from repro.faults.byzantine import CrashStrategy, MirrorParticipantStrategy
 from repro.harness.scenario import Cluster, ScenarioConfig
@@ -42,6 +46,40 @@ class TestConcurrentInvocations:
         cg.propose("a", index=7)
         with pytest.raises(ValueError, match="reused within Delta_v"):
             cg.propose("b", index=7)
+
+    def test_index_reuse_error_is_typed(self, params7):
+        cluster = Cluster(ScenarioConfig(params=params7, seed=8))
+        cg = ConcurrentGeneral(cluster.protocol_node(0))
+        cg.propose("a", index=0)
+        with pytest.raises(IndexReuseError):
+            cg.propose("b", index=0)
+        assert issubclass(IndexReuseError, ValueError)
+
+    def test_reuse_allowed_after_delta_v(self, params7):
+        cluster = Cluster(ScenarioConfig(params=params7, seed=9))
+        cg = ConcurrentGeneral(cluster.protocol_node(0))
+        cg.propose("a", index=7)
+        cluster.run_for(params7.delta_v + params7.d)
+        cg.propose("b", index=7)  # pacing satisfied: no error
+
+    def test_explicit_index_bumps_allocator(self, params7):
+        cluster = Cluster(ScenarioConfig(params=params7, seed=10))
+        cg = ConcurrentGeneral(cluster.protocol_node(0))
+        cg.propose("a", index=5)
+        assert cg.next_index == 6
+        # The next default allocation cannot collide with the explicit one.
+        assert cg.propose("b") == 6
+
+    def test_pacing_map_pruned_after_delta_v(self, params7):
+        cluster = Cluster(ScenarioConfig(params=params7, seed=11))
+        cg = ConcurrentGeneral(cluster.protocol_node(0))
+        for _ in range(10):
+            cg.propose("v")
+        assert len(cg._index_last_used) == 10
+        cluster.run_for(params7.delta_v + params7.d)
+        cg.propose("fresh")
+        # Expired stamps were swept; only the fresh initiation remains.
+        assert len(cg._index_last_used) == 1
 
     def test_agreement_per_index_with_byzantine_participant(self, params7):
         cluster = Cluster(

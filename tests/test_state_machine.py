@@ -5,7 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.core.params import ProtocolParams
-from repro.extensions.state_machine import Replica, ReplicatedStateMachine
+from repro.extensions.state_machine import (
+    DecisionTap,
+    Replica,
+    ReplicatedStateMachine,
+)
 from repro.faults.byzantine import CrashStrategy, MirrorParticipantStrategy
 from repro.harness.scenario import Cluster, ScenarioConfig
 
@@ -100,6 +104,105 @@ class TestReplication:
         ReplicatedStateMachine(cluster, primary=0).submit("hello")
         cluster.run_for(params7.delta_agr + 10 * params7.d)
         assert "hello" in seen
+
+
+class _Probe(DecisionTap):
+    """Minimal concrete tap: records every decision it observes."""
+
+    def __init__(self, node) -> None:
+        self.seen: list = []
+        super().__init__(node)
+
+    def _on_decision(self, decision) -> None:
+        self.seen.append(decision.value)
+
+
+def _decision(value) -> "Decision":
+    from repro.core.agreement import Decision
+
+    return Decision(
+        node=1,
+        general=(0, 0),
+        value=value,
+        tau_g_local=0.0,
+        tau_g_real=0.0,
+        returned_local=1.0,
+        returned_real=1.0,
+    )
+
+
+class TestDecisionTapChaining:
+    def test_detach_head_restores_previous_callback(self, params7):
+        cluster = Cluster(ScenarioConfig(params=params7, seed=20))
+        node = cluster.protocol_node(1)
+        base_seen = []
+        node.on_decision = lambda dec: base_seen.append(dec.value)
+        original = node.on_decision
+        probe = _Probe(node)
+        node.on_decision(_decision("a"))
+        assert probe.seen == ["a"] and base_seen == ["a"]
+        probe.detach()
+        assert node.on_decision is original
+        node.on_decision(_decision("b"))
+        assert probe.seen == ["a"] and base_seen == ["a", "b"]
+
+    def test_detach_middle_splices_chain(self, params7):
+        cluster = Cluster(ScenarioConfig(params=params7, seed=21))
+        node = cluster.protocol_node(1)
+        lower = _Probe(node)
+        upper = _Probe(node)  # stacked on top of lower
+        node.on_decision(_decision("a"))
+        assert lower.seen == ["a"] and upper.seen == ["a"]
+        lower.detach()  # middle of the chain: upper still installed
+        node.on_decision(_decision("b"))
+        assert lower.seen == ["a"]
+        assert upper.seen == ["a", "b"]
+
+    def test_detach_in_any_order(self, params7):
+        cluster = Cluster(ScenarioConfig(params=params7, seed=22))
+        node = cluster.protocol_node(1)
+        taps = [_Probe(node) for _ in range(3)]
+        taps[1].detach()
+        taps[2].detach()
+        node.on_decision(_decision("x"))
+        assert taps[0].seen == ["x"]
+        assert taps[1].seen == [] and taps[2].seen == []
+        taps[0].detach()
+        assert node.on_decision is None
+        taps[0].detach()  # idempotent
+
+    def test_foreign_interposed_callback_leaves_inert_tap(self, params7):
+        cluster = Cluster(ScenarioConfig(params=params7, seed=23))
+        node = cluster.protocol_node(1)
+        probe = _Probe(node)
+        # Someone overwrites on_decision with a plain closure that wraps the
+        # tap's dispatch: the tap cannot be spliced out structurally.
+        inner = node.on_decision
+        outer_seen = []
+
+        def wrapper(dec):
+            inner(dec)
+            outer_seen.append(dec.value)
+
+        node.on_decision = wrapper
+        probe.detach()
+        node.on_decision(_decision("z"))
+        # The chain keeps working; the detached tap is an inert pass-through.
+        assert outer_seen == ["z"]
+        assert probe.seen == []
+
+    def test_replica_detach_composes_with_observers(self, params7):
+        """A Replica is a DecisionTap: stacking and detaching compose."""
+        cluster = Cluster(ScenarioConfig(params=params7, seed=24))
+        node = cluster.protocol_node(1)
+        replica = Replica(node, primary=0)
+        probe = _Probe(node)
+        node.on_decision(_decision("cmd"))
+        assert replica.log == ["cmd"] and probe.seen == ["cmd"]
+        replica.detach()
+        node.on_decision(_decision("cmd2"))
+        assert replica.log == ["cmd"]  # detached: no longer applying
+        assert probe.seen == ["cmd", "cmd2"]
 
 
 class TestConsistencyChecker:
