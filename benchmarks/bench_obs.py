@@ -1,0 +1,110 @@
+"""Observability scrape overhead: rendering a populated metrics registry.
+
+A ``/metrics`` scrape renders every node's registry into the Prometheus
+text format on an HTTP handler thread.  The child poll loop and the
+asyncio sampler keep feeding the registries while scrapes happen, so the
+render path must stay cheap enough that a per-second scraper is noise
+next to protocol work.  ``obs_scrape`` records the full-document render
+throughput for a 4-node cluster's worth of populated registries (the
+exact document the asyncio control plane serves) plus the parse-back
+rate the CI gate's assertions pay.
+
+Wall-clock string formatting, machine-dependent by design (kind
+``obs``): informational, not regression-gated.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.agreement import Decision
+from repro.obs.metrics import NodeMetrics, parse_prometheus_text
+
+from benchmarks.conftest import print_rows, record_bench_result
+
+N_NODES = 4
+#: Latency observations fed per node -- a busy service run's worth.
+OBSERVATIONS = 2000
+SCRAPES = 200
+
+
+def _populated_metrics() -> dict[int, NodeMetrics]:
+    nodes = {nid: NodeMetrics(nid, time_scale=0.05) for nid in range(N_NODES)}
+    for nid, metrics in nodes.items():
+        metrics.arrivals.set_total(250_000 + nid)
+        metrics.sent.set_total(310_000 + nid)
+        metrics.authenticated.set_total(250_000 + nid)
+        metrics.rejected.set_total(17)
+        metrics.datagrams.set_total(90_000 + nid)
+        metrics.watch_fires.set_total(40_000 + nid)
+        metrics.live_timers.set(64)
+        metrics.live_instances.set(30)
+        metrics.commands_applied.set_total(100_000)
+        metrics.incarnation.set(nid % 2)
+        for i in range(OBSERVATIONS):
+            latency = 0.05 + (i % 100) * 0.01
+            metrics.decide_latency.observe(latency)
+            metrics.observe_decision(
+                Decision(
+                    node=nid, general=(0, i), value=("c",),
+                    tau_g_local=0.0, tau_g_real=0.0,
+                    returned_local=latency, returned_real=latency,
+                )
+            )
+    return nodes
+
+
+def _best_of(fn, repeats: int = 3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_obs_scrape(benchmark):
+    nodes = _populated_metrics()
+
+    def render_all() -> str:
+        return "".join(metrics.render() for metrics in nodes.values())
+
+    document = render_all()
+    # The document must survive a parse round-trip with every node label.
+    parsed = parse_prometheus_text(document)
+    for nid in range(N_NODES):
+        label = f'{{node="{nid}"}}'
+        assert parsed["repro_arrivals_total"][label] == 250_000 + nid
+        assert parsed["repro_decide_latency_seconds_count"][label] == (
+            OBSERVATIONS
+        )
+
+    render_s, _ = _best_of(lambda: [render_all() for _ in range(SCRAPES)])
+    parse_s, _ = _best_of(
+        lambda: [parse_prometheus_text(document) for _ in range(SCRAPES)]
+    )
+
+    scrapes_per_s = SCRAPES / render_s
+    rows = [
+        {
+            "nodes": N_NODES,
+            "document_bytes": len(document),
+            "scrapes_per_s": scrapes_per_s,
+            "parses_per_s": SCRAPES / parse_s,
+            "render_ms": render_s / SCRAPES * 1e3,
+        }
+    ]
+    print_rows("OBS: /metrics render + parse throughput", rows)
+    record_bench_result(
+        "obs_scrape",
+        kind="obs",
+        nodes=N_NODES,
+        document_bytes=len(document),
+        scrapes_per_s=scrapes_per_s,
+        parses_per_s=SCRAPES / parse_s,
+        render_ms=render_s / SCRAPES * 1e3,
+    )
+    benchmark.pedantic(render_all, rounds=3, iterations=1)
+    # A scrape must be far cheaper than a poll-loop tick budget (~10 ms).
+    assert render_s / SCRAPES < 0.01, "scrape render exceeded 10 ms"

@@ -68,6 +68,23 @@ if ! timeout -k 10 120 python -m repro.cli serve --backend asyncio \
 fi
 
 echo
+echo "== live cluster control plane gate (/metrics scrape + injected kill + recovery) =="
+# The control plane end to end, driven over HTTP like an operator would:
+# scrape every node's Prometheus /metrics, POST a FaultScript that
+# SIGKILLs a replica mid-workload, then require /status to report the
+# supervised respawn and the run to converge to identical logs (which
+# needs the f+1 log repair of the revenant).  Same hard-timeout and
+# CI-only orphan-sweep discipline as the chaos smoke.
+if ! timeout -k 10 180 python scripts/live_cluster_gate.py; then
+    echo "live cluster gate FAILED (scrape, injection, recovery, or convergence)" >&2
+    sleep 3
+    if [ "${CI:-}" != "" ]; then
+        pkill -f "from multiprocessing.spawn import spawn_main" 2>/dev/null || true
+    fi
+    exit 1
+fi
+
+echo
 echo "== suite smoke (scenario matrix: 2 timelines x 2 seeds) =="
 python -m repro.cli suite --preset smoke --workers 2
 
@@ -109,6 +126,7 @@ python -m pytest benchmarks/bench_perf_kernel.py benchmarks/bench_wire.py \
     benchmarks/bench_x4_asyncio_host.py \
     benchmarks/bench_x5_socket_host.py benchmarks/bench_x6_chaos.py \
     benchmarks/bench_shard_scaling.py benchmarks/bench_service.py \
+    benchmarks/bench_obs.py \
     --benchmark-only -q
 
 echo
@@ -148,6 +166,7 @@ required = (
     "shard_scaling",
     "service_smoke",
     "service_throughput",
+    "obs_scrape",
 )
 missing = [name for name in required if name not in results]
 if missing:

@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""CI gate: the live cluster control plane, end to end.
+
+Drives ``repro.cli serve --backend socket --metrics --supervise`` the way
+an operator would, over HTTP only:
+
+1.  start the cluster and read the ``control: http://...`` line;
+2.  poll ``/status`` until every node is alive and advertises a per-node
+    metrics endpoint;
+3.  scrape every node's ``/metrics`` and assert each required Prometheus
+    series is present and parseable;
+4.  ``POST /faults`` a ``FaultScript`` crash action that SIGKILLs one
+    replica (full state loss) mid-workload;
+5.  poll ``/status`` until the supervisor has respawned the victim
+    (``restarts >= 1`` and alive again) and its fresh ``/metrics``
+    endpoint reports the bumped incarnation;
+6.  wait for the serve process itself: it must exit 0, which requires
+    every replica -- the revenant included, via f+1 log repair -- to have
+    applied the identical full command sequence.
+
+Stdlib only; exits non-zero with a diagnostic on the first failed step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.obs.metrics import REQUIRED_SERIES, parse_prometheus_text  # noqa: E402
+
+#: Hard wall for the whole gate.
+GATE_TIMEOUT_S = 150.0
+COMMANDS = 1500
+RATE = 300.0
+PRIMARY = 0
+VICTIM = 2  # a replica: killing the primary is documented as unhealable
+
+
+def fail(step: str, detail: str, proc: subprocess.Popen) -> int:
+    print(f"GATE FAIL [{step}]: {detail}", file=sys.stderr)
+    proc.kill()
+    tail = proc.stdout.read() if proc.stdout else ""
+    if tail:
+        print(f"--- serve output tail ---\n{tail[-2000:]}", file=sys.stderr)
+    return 1
+
+
+def http_json(url: str, payload=None, timeout: float = 5.0):
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=data, headers=headers)
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def http_text(url: str, timeout: float = 5.0) -> str:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.read().decode()
+
+
+def main() -> int:
+    deadline = time.monotonic() + GATE_TIMEOUT_S
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--backend", "socket", "--metrics", "--supervise",
+            "--commands", str(COMMANDS), "--rate", str(RATE),
+            "--primary", str(PRIMARY), "--time-scale", "0.05",
+            "--seed", "7",
+        ],
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        # Step 1: the control endpoint announces itself on stdout.
+        control = None
+        assert proc.stdout is not None
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                return fail("announce", "serve exited before announcing", proc)
+            if line.startswith("control: "):
+                control = line.split(" ", 1)[1].strip()
+                break
+        if control is None:
+            return fail("announce", "no 'control:' line before timeout", proc)
+        print(f"control endpoint: {control}")
+
+        # Step 2: every node alive with a metrics endpoint.
+        status = None
+        while time.monotonic() < deadline:
+            try:
+                status = http_json(f"{control}/status")
+            except (urllib.error.URLError, OSError, ValueError):
+                time.sleep(0.2)
+                continue
+            nodes = status.get("nodes", {})
+            if status.get("started") and nodes and all(
+                node["alive"] and node["metrics_url"]
+                for node in nodes.values()
+            ):
+                break
+            time.sleep(0.2)
+        else:
+            return fail("status", f"cluster never ready: {status}", proc)
+        print(f"all {len(status['nodes'])} nodes alive with metrics endpoints")
+
+        # Step 3: scrape every node, assert the required series.
+        for node_id, node in sorted(status["nodes"].items()):
+            text = http_text(node["metrics_url"])
+            series = parse_prometheus_text(text)
+            exposed = set(series)
+            missing = [
+                name for name in REQUIRED_SERIES
+                if name not in exposed
+                and f"{name}_count" not in exposed  # histogram samples
+            ]
+            if missing:
+                return fail(
+                    "scrape", f"node {node_id} missing series {missing}", proc
+                )
+        print(f"scraped {len(status['nodes'])} nodes: "
+              f"all {len(REQUIRED_SERIES)} required series present")
+
+        # Step 4: SIGKILL one replica through the fault endpoint.
+        reply = http_json(
+            f"{control}/faults",
+            payload=[{"at_d": 0.0, "do": "crash", "nodes": [VICTIM],
+                      "state_loss": True}],
+        )
+        if reply.get("accepted") != 1:
+            return fail("inject", f"fault not accepted: {reply}", proc)
+        print(f"injected crash(state_loss) for node {VICTIM}: {reply}")
+
+        # Step 5: the supervisor respawns the victim; its new /metrics
+        # endpoint reports the bumped incarnation.
+        recovered = None
+        while time.monotonic() < deadline:
+            try:
+                status = http_json(f"{control}/status")
+            except (urllib.error.URLError, OSError, ValueError):
+                time.sleep(0.2)
+                continue
+            node = status["nodes"].get(str(VICTIM), {})
+            if node.get("alive") and node.get("restarts", 0) >= 1:
+                recovered = node
+                break
+            time.sleep(0.2)
+        if recovered is None:
+            return fail("respawn", f"victim never respawned: {status}", proc)
+        try:
+            series = parse_prometheus_text(http_text(recovered["metrics_url"]))
+            incarnation = series.get("repro_incarnation", {}).get(
+                f'{{node="{VICTIM}"}}', 0.0
+            )
+        except (urllib.error.URLError, OSError, ValueError):
+            incarnation = None  # respawn race; /status already proved it
+        print(f"victim respawned: restarts={recovered['restarts']} "
+              f"incarnation={incarnation}")
+
+        # Step 6: the run itself must converge -- identical logs at every
+        # replica, revenant included (exit 0 requires full repair).
+        remaining = max(5.0, deadline - time.monotonic())
+        try:
+            out, _ = proc.communicate(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            return fail("converge", "serve did not finish in time", proc)
+        sys.stdout.write(out)
+        if proc.returncode != 0:
+            print(f"GATE FAIL [converge]: serve exited {proc.returncode}",
+                  file=sys.stderr)
+            return 1
+        print("GATE OK: scrape + injected kill + supervised recovery + "
+              "identical logs")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -310,6 +310,21 @@ def _build_parser() -> argparse.ArgumentParser:
             "--fixed", action="store_true",
             help="fixed-interval arrivals (default: Poisson process)",
         )
+        p.add_argument(
+            "--metrics", action="store_true",
+            help="expose Prometheus /metrics per node plus a cluster-wide "
+            "/status + POST /faults control endpoint (printed as "
+            "'control: http://...' on startup)",
+        )
+        p.add_argument(
+            "--control-port", type=int, default=0,
+            help="TCP port for the control endpoint (default: 0 = ephemeral)",
+        )
+        p.add_argument(
+            "--supervise", action="store_true",
+            help="socket backend: respawn children that die mid-run and heal "
+            "laggards via f+1 log repair (the live self-stabilization demo)",
+        )
 
     serve = sub.add_parser(
         "serve",
@@ -741,6 +756,14 @@ def _run_service(args: argparse.Namespace):
                 window=args.window,
                 max_batch=args.batch,
             )
+            plane = None
+            if args.metrics:
+                from repro.obs.control import AsyncioControlPlane
+
+                plane = AsyncioControlPlane(
+                    cluster, service, port=args.control_port
+                ).start()
+                print(f"control: {plane.server.url}", flush=True)
             try:
                 return await service.run_workload(
                     rate=args.rate,
@@ -750,6 +773,8 @@ def _run_service(args: argparse.Namespace):
                     drain_timeout_s=max(30.0, 3.0 * duration_s),
                 )
             finally:
+                if plane is not None:
+                    await plane.close()
                 cluster.close()
 
         return asyncio.run(body())
@@ -768,14 +793,26 @@ def _run_service(args: argparse.Namespace):
         seed=args.seed,
         time_scale=args.time_scale,
         timeout_units=timeout_units,
+        supervise=args.supervise,
+        metrics=args.metrics,
     )
-    return service.run_workload(
-        rate=args.rate,
-        total=args.commands,
-        seed=args.seed,
-        poisson=not args.fixed,
-        settle_timeout_s=max(30.0, duration_s),
-    )
+    plane = None
+    if args.metrics:
+        from repro.obs.control import SocketControlPlane
+
+        plane = SocketControlPlane(service, port=args.control_port).start()
+        print(f"control: {plane.server.url}", flush=True)
+    try:
+        return service.run_workload(
+            rate=args.rate,
+            total=args.commands,
+            seed=args.seed,
+            poisson=not args.fixed,
+            settle_timeout_s=max(30.0, duration_s),
+        )
+    finally:
+        if plane is not None:
+            plane.close()
 
 
 def _service_verdict(args: argparse.Namespace, report) -> int:

@@ -458,6 +458,9 @@ class ProtocolNode(Node):
         # a long-lived process refuse to resurrect retired instance keys
         # from straggler relays without touching the protocol hot path.
         self.instance_gate: Optional[Callable[[object], bool]] = None
+        # Watch fires folded in from retired instances, so the node-level
+        # counter stays monotone across instance retirement (observability).
+        self._retired_watch_fires = 0
 
         # General-side pacing state (Sending Validity Criteria).
         self._last_initiation: Optional[float] = None
@@ -491,8 +494,25 @@ class ProtocolNode(Node):
         inst = self.instances.pop(general, None)
         if inst is None:
             return False
+        self._retired_watch_fires += (
+            inst.ia.log.watch_fires + inst.mb.log.watch_fires
+        )
         inst.retire()
         return True
+
+    def watch_fires(self) -> int:
+        """Watch callbacks fired node-wide, retired instances included."""
+        return self._retired_watch_fires + sum(
+            inst.ia.log.watch_fires + inst.mb.log.watch_fires
+            for inst in self.instances.values()
+        )
+
+    def live_watches(self) -> int:
+        """Currently registered message-log watches across live instances."""
+        return sum(
+            inst.ia.log.live_watch_count() + inst.mb.log.live_watch_count()
+            for inst in self.instances.values()
+        )
 
     # ------------------------------------------------------------------
     # Block Q0: initiating an agreement as the General

@@ -12,6 +12,7 @@ silently duplicated.
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import time
@@ -40,7 +41,9 @@ def summarize_latencies(latencies: list[float]) -> dict[str, float]:
 
     Returns ``{"p50_ms", "p99_ms", "mean_ms", "max_ms"}`` (zeros for an
     empty sample) -- the flat shape ``record_bench_result`` expects.
-    Percentiles use the nearest-rank method on the sorted sample.
+    Percentiles use the nearest-rank method on the sorted sample: the
+    q-th percentile is the ``ceil(q * count)``-th smallest value, i.e.
+    index ``ceil(q * count) - 1``.
     """
     if not latencies:
         return {"p50_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0, "max_ms": 0.0}
@@ -48,7 +51,8 @@ def summarize_latencies(latencies: list[float]) -> dict[str, float]:
     count = len(ordered)
 
     def rank(q: float) -> float:
-        return ordered[min(count - 1, int(q * count))]
+        index = max(0, math.ceil(q * count) - 1)
+        return ordered[min(count - 1, index)]
 
     return {
         "p50_ms": rank(0.50) * 1000.0,

@@ -247,6 +247,7 @@ class FreshWindowWatch:
         if self.on_event is not None and (
             sender == self.sentinel or len(matured) in self.thresholds
         ):
+            self.log.watch_fires += 1
             self.on_event(self)
 
     def _drain(self, now: float) -> None:
@@ -308,6 +309,13 @@ class MessageLog:
     def __init__(self) -> None:
         self._keys: dict[Key, _KeyLog] = {}
         self._watches: dict[Key, list[FreshWindowWatch]] = {}
+        #: Watch callbacks actually fired (threshold crossings / sentinel
+        #: maturations).  Observability only -- never read by protocol code.
+        self.watch_fires = 0
+
+    def live_watch_count(self) -> int:
+        """Currently registered (uncancelled) watches across all keys."""
+        return sum(len(watches) for watches in self._watches.values())
 
     # ------------------------------------------------------------------
     # Recording

@@ -1,0 +1,28 @@
+"""Live-cluster observability: Prometheus /metrics, /status, /faults."""
+
+from repro.obs.control import (
+    AsyncioControlPlane,
+    SocketControlPlane,
+    parse_fault_payload,
+)
+from repro.obs.http import MAX_BODY_BYTES, ObservabilityServer
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NodeMetrics,
+    REQUIRED_SERIES,
+    parse_prometheus_text,
+)
+
+__all__ = [
+    "AsyncioControlPlane",
+    "DEFAULT_BUCKETS",
+    "MAX_BODY_BYTES",
+    "MetricsRegistry",
+    "NodeMetrics",
+    "ObservabilityServer",
+    "REQUIRED_SERIES",
+    "SocketControlPlane",
+    "parse_fault_payload",
+    "parse_prometheus_text",
+]

@@ -489,6 +489,7 @@ class AsyncioCluster:
         self.correct_ids: list[int] = []
         self.byzantine_ids: list[int] = []
         self._decision_seen = asyncio.Event()
+        self._decision_observers: list[Callable[[Decision], None]] = []
         byzantine = byzantine or {}
         if len(byzantine) > params.f:
             raise ValueError(
@@ -528,6 +529,25 @@ class AsyncioCluster:
 
     def _on_decision(self, decision: Decision) -> None:
         self._decision_seen.set()
+        for observer in self._decision_observers:
+            # This callback is the head of the decision-tap chain (service
+            # taps stack on top and dispatch through it first): a failing
+            # observer must not unwind their dispatch or starve later
+            # observers.
+            try:
+                observer(decision)
+            except Exception:
+                pass
+
+    def add_decision_observer(
+        self, observer: Callable[[Decision], None]
+    ) -> None:
+        """Register a callback invoked (on the loop) for every decision.
+
+        The observability layer uses this to feed latency histograms
+        without the cluster knowing about metrics at all.
+        """
+        self._decision_observers.append(observer)
 
     def latest_decision_per_node(self, general: int) -> dict[int, Decision]:
         """The most recent outcome per correct node for one General."""

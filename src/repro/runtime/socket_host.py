@@ -44,6 +44,7 @@ import asyncio
 import multiprocessing
 import multiprocessing.connection
 import os
+import queue
 import signal
 import socket
 import time
@@ -507,7 +508,29 @@ async def _child_run(
     decisions: list[Decision] = []
     service_cfg = cfg.get("service")
 
+    metrics = None
+    metrics_server = None
+    if cfg.get("metrics"):
+        from repro.obs.http import ObservabilityServer
+        from repro.obs.metrics import NodeMetrics
+
+        metrics = NodeMetrics(node_id, cfg["time_scale"])
+        metrics.incarnation.set(cfg.get("incarnation", 0))
+        metrics_server = ObservabilityServer(render=metrics.render).start()
+        try:
+            conn.send(("metrics_port", node_id, metrics_server.port))
+        except (BrokenPipeError, OSError):
+            pass
+
     def on_decision(decision: Decision) -> None:
+        if metrics is not None:
+            # This callback is the head of the decision-tap chain: the
+            # service taps stack on top and dispatch through it first, so
+            # an observability failure must not unwind their dispatch.
+            try:
+                metrics.observe_decision(decision)
+            except Exception:
+                pass
         if service_cfg is not None:
             # Service mode runs thousands of slot decisions; per-decision
             # streaming would flood the pipe.  Progress flows through the
@@ -604,6 +627,13 @@ async def _child_run(
         if not stop:
             if service is not None:
                 service.tick(host)
+            if metrics is not None:
+                metrics.sample(
+                    transport=transport,
+                    host=host,
+                    node=node if isinstance(node, ProtocolNode) else None,
+                    service=service,
+                )
             await asyncio.sleep(0.02)
 
     # Snapshot *before* close(): what teardown had to reap.  A running node
@@ -615,6 +645,8 @@ async def _child_run(
     timers_at_close = host.live_timer_count()
     host.close()
     transport.close()
+    if metrics_server is not None:
+        metrics_server.close()
     result = (
         (
             "result",
@@ -770,6 +802,7 @@ class SocketCluster:
         codec: Optional[str] = None,
         coalesce: bool = True,
         uvloop: bool = False,
+        metrics: bool = False,
     ) -> None:
         if uvloop:
             # Validate availability up front in the parent: a child crashing
@@ -823,6 +856,16 @@ class SocketCluster:
         self._stop_sent = False
         self._peers: dict[int, tuple[str, int]] = {}
         self._epoch_wall: Optional[float] = None
+        self.metrics = metrics
+        #: node_id -> port of the child's /metrics endpoint (metrics mode).
+        self._metrics_ports: dict[int, int] = {}
+        #: Fault actions accepted via :meth:`inject_fault_script`.
+        self.faults_injected = 0
+        # Injected scripts cross from HTTP handler threads to the pump loop
+        # through this queue: Connection.send is not thread-safe, so only
+        # the loop ever talks to the children.
+        self._injected_scripts: queue.SimpleQueue = queue.SimpleQueue()
+        self._live_drivers: list = []
         self._driver = None
         if fault_script is not None:
             from repro.faults.live import WallClockFaultDriver
@@ -862,6 +905,7 @@ class SocketCluster:
             "codec": self.codec,
             "coalesce": self.coalesce,
             "uvloop": self.uvloop,
+            "metrics": self.metrics,
             "service": self._service_cfg,
         }
 
@@ -1088,6 +1132,81 @@ class SocketCluster:
             except (BrokenPipeError, OSError):
                 pass
 
+    def inject_fault_script(self, spec: object) -> dict:
+        """Validate a JSON fault spec and queue it for the pump loop.
+
+        Safe to call from HTTP handler threads (``POST /faults``):
+        validation happens here so bad input fails fast (a 400), but the
+        driver is built and armed on the pump loop, which alone talks to
+        the control pipes.  ``at_d`` offsets of an injected script are
+        relative to *injection time*, so ``at_d: 0`` means "now".
+        """
+        from repro.faults.live import validate_live_script
+        from repro.obs.control import parse_fault_payload
+
+        script = parse_fault_payload(spec)
+        validate_live_script(script, backend="socket")
+        self._injected_scripts.put(script)
+        self.faults_injected += len(script.actions)
+        return {"accepted": len(script.actions), "backend": "socket"}
+
+    def _pump_faults(self) -> None:
+        """Arm newly injected scripts and pump every fault driver."""
+        while True:
+            try:
+                script = self._injected_scripts.get_nowait()
+            except queue.Empty:
+                break
+            from repro.faults.live import WallClockFaultDriver
+
+            driver = WallClockFaultDriver(script, self)
+            driver.start(time.time())
+            self._live_drivers.append(driver)
+        if self._driver is not None:
+            self._driver.pump()
+        if self._live_drivers:
+            for driver in self._live_drivers:
+                driver.pump()
+            self._live_drivers = [
+                driver for driver in self._live_drivers if not driver.done
+            ]
+
+    # ------------------------------------------------------------------
+    # Control-plane status (read by HTTP handler threads: simple fields
+    # only, everything is snapshotted into plain values here)
+    # ------------------------------------------------------------------
+    def status_snapshot(self) -> dict:
+        """Cluster-wide supervision status for ``GET /status``."""
+        nodes: dict[str, dict] = {}
+        for node_id in range(self.params.n):
+            proc = self.procs.get(node_id)
+            mport = self._metrics_ports.get(node_id)
+            nodes[str(node_id)] = {
+                "alive": bool(proc is not None and proc.is_alive()),
+                "incarnation": self._incarnations.get(node_id, 0),
+                "restarts": self._restarts.get(node_id, 0),
+                "retired": node_id in self._retired,
+                "pending_respawn": node_id in self._down,
+                "exit_reason": self._exit_reason.get(node_id),
+                "byzantine": node_id in self._byzantine,
+                "metrics_url": (
+                    f"http://127.0.0.1:{mport}/metrics"
+                    if mport is not None
+                    else None
+                ),
+            }
+        return {
+            "backend": "socket",
+            "n": self.params.n,
+            "f": self.params.f,
+            "general": self.general,
+            "supervise": self._supervise,
+            "started": self._started,
+            "stopping": self._stop_sent,
+            "faults_injected": self.faults_injected,
+            "nodes": nodes,
+        }
+
     def kill_node(self, node_id: int, state_loss: bool = True) -> None:
         """Crash one child: SIGKILL (full state loss) or SIGSTOP (a stun)."""
         proc = self.procs.get(node_id)
@@ -1170,8 +1289,7 @@ class SocketCluster:
             + 5.0
         )
         while time.monotonic() < wall_deadline:
-            if self._driver is not None:
-                self._driver.pump()
+            self._pump_faults()
             self._pump_supervisor()
             if not self._stop_sent and self._all_decided(report):
                 self._send_stop()
@@ -1258,6 +1376,9 @@ class SocketCluster:
         elif tag == "port":
             _tag, reported_id, port = msg
             self._complete_rejoin(reported_id, port)
+        elif tag == "metrics_port":
+            _tag, reported_id, port = msg
+            self._metrics_ports[reported_id] = port
 
     def _send_stop(self) -> None:
         for conn in self.conns.values():

@@ -187,6 +187,11 @@ class LogCoordinator(DecisionTap):
     # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
+    @property
+    def drained(self) -> bool:
+        """True when every submitted command's slot has decided."""
+        return self._drained.is_set()
+
     async def drain(self, timeout_s: Optional[float] = None) -> None:
         """Wait until every submitted command's slot has decided."""
         await asyncio.wait_for(self._drained.wait(), timeout_s)

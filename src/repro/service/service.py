@@ -173,7 +173,10 @@ class ReplicatedLogService:
         if not self._warmed_up:
             # Warmed up once the pipeline has been filled at least once.
             self._warmed_up = self.coordinator.slots_launched >= self.window
-        elif live > self.live_bound:
+        # The transition sample is itself subject to the bound: a pipeline
+        # that overshoots in the very sample that completes warmup must
+        # count as a violation, not slip through the warmup gate.
+        if self._warmed_up and live > self.live_bound:
             self.bound_violations += 1
         return live, timers
 
@@ -187,17 +190,30 @@ class ReplicatedLogService:
         the coordinator launched (repair may still be warranted for
         replicas that missed decisions permanently -- see :meth:`repair`).
         """
-        deadline = time.monotonic() + timeout_s if timeout_s else None
+        # ``is not None``: a zero timeout means "poll once and report",
+        # not "wait forever" (0 is falsy, so a truthiness check would
+        # silently turn poll-once into an unbounded wait).
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
 
         def remaining() -> Optional[float]:
             if deadline is None:
                 return None
             return max(0.0, deadline - time.monotonic())
 
-        try:
-            await self.coordinator.drain(remaining())
-        except asyncio.TimeoutError:
-            return False
+        wait = remaining()
+        if wait == 0.0:
+            # Poll-once: a zero deadline must not enter wait_for, whose
+            # zero-timeout path cancels before a set event's waiter can
+            # even report success.
+            if not self.coordinator.drained:
+                return False
+        else:
+            try:
+                await self.coordinator.drain(wait)
+            except asyncio.TimeoutError:
+                return False
         target = self.coordinator.general.next_index
         while any(
             applier.next_index < target for applier in self.appliers.values()

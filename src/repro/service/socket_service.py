@@ -70,14 +70,58 @@ class ChildLogService:
     # ------------------------------------------------------------------
     # Pipe intake (called from the child poll loop)
     # ------------------------------------------------------------------
+    #: Max slots answered per ("repair_req", ...) message.
+    REPAIR_SPAN = 512
+
     def handle(self, msg: tuple) -> bool:
         """Consume one control message; True iff it was service traffic."""
-        if msg[0] != "cmds":
-            return False
-        if self.coordinator is not None:
-            for command, arrival in msg[1]:
-                self.coordinator.submit_nowait(command, arrival)
-        return True
+        tag = msg[0]
+        if tag == "cmds":
+            if self.coordinator is not None:
+                for command, arrival in msg[1]:
+                    self.coordinator.submit_nowait(command, arrival)
+            return True
+        if tag == "repair_req":
+            # The parent is healing a laggard: answer with this replica's
+            # finalized outcomes for the requested slot range.  Outcomes
+            # survive retirement (the applier keeps them), so even slots
+            # whose protocol state is long gone can be served.
+            _tag, lo, hi = msg
+            hi = min(hi, lo + self.REPAIR_SPAN, self.applier.next_index)
+            entries = []
+            for index in range(lo, hi):
+                outcome = self.applier.outcome(index)
+                if outcome is not None:
+                    entries.append((index, outcome))
+            if entries:
+                try:
+                    self.conn.send(
+                        ("outcomes", self.node.node_id, entries)
+                    )
+                except (BrokenPipeError, OSError):
+                    pass
+            return True
+        if tag == "adopt":
+            # f+1-vouched outcomes from the parent: adopt and report fresh
+            # progress immediately so the catch-up is visible at once.
+            self.applier.adopt_entries(msg[1])
+            self._last_progress = 0.0
+            self.tick_progress()
+            return True
+        return False
+
+    def tick_progress(self) -> None:
+        """Send an (applied, ...) progress report if it changed."""
+        progress = (self.applier.next_index, self.applier.commands_applied)
+        if progress == self._last_reported:
+            return
+        self._last_reported = progress
+        try:
+            self.conn.send(
+                ("applied", self.node.node_id, progress[0], progress[1])
+            )
+        except (BrokenPipeError, OSError):
+            pass
 
     def tick(self, host) -> None:
         """Sample state and report progress (rate-limited); poll-loop hook."""
@@ -91,16 +135,7 @@ class ChildLogService:
         if now - self._last_progress < self.PROGRESS_INTERVAL_S:
             return
         self._last_progress = now
-        progress = (self.applier.next_index, self.applier.commands_applied)
-        if progress == self._last_reported:
-            return
-        self._last_reported = progress
-        try:
-            self.conn.send(
-                ("applied", self.node.node_id, progress[0], progress[1])
-            )
-        except (BrokenPipeError, OSError):
-            pass
+        self.tick_progress()
 
     # ------------------------------------------------------------------
     # Final result
@@ -151,6 +186,8 @@ class SocketServiceReport:
     digests: dict[int, str] = field(default_factory=dict)
     applied_per_replica: dict[int, int] = field(default_factory=dict)
     exit_reasons: dict[int, str] = field(default_factory=dict)
+    #: Slot outcomes the parent shipped to laggards after f+1 vouching.
+    repaired_entries: int = 0
 
     @property
     def commands_per_s(self) -> float:
@@ -198,6 +235,14 @@ class SocketLogService(SocketCluster):
         self.primary = primary
         #: node_id -> (next_slot, commands_applied) progress reports.
         self.progress: dict[int, tuple[int, int]] = {}
+        #: slot -> {peer_id: outcome} votes collected for laggard repair.
+        self._repair_votes: dict[int, dict[int, object]] = {}
+        self._last_repair = 0.0
+        #: Slot outcomes shipped to laggards after f+1 agreement.
+        self.repaired_entries = 0
+        #: Workload progress for /status (set by run_workload).
+        self.workload_issued = 0
+        self.workload_total = 0
         super().__init__(params, general=primary, **kwargs)
 
     # ------------------------------------------------------------------
@@ -207,6 +252,11 @@ class SocketLogService(SocketCluster):
         if msg[0] == "applied":
             _tag, sender_id, next_slot, applied = msg
             self.progress[sender_id] = (next_slot, applied)
+            return
+        if msg[0] == "outcomes":
+            _tag, sender_id, entries = msg
+            for index, outcome in entries:
+                self._repair_votes.setdefault(index, {})[sender_id] = outcome
             return
         super()._dispatch(report, results, node_id, conn, msg)
 
@@ -218,6 +268,113 @@ class SocketLogService(SocketCluster):
             if held is None or held[1] < total:
                 return False
         return True
+
+    def _handle_death(self, node_id, proc) -> None:
+        if proc.exitcode != 0 and not self._stop_sent and not self._closed:
+            # The incarnation's applied log died with it; stale progress
+            # must not satisfy _caught_up while the revenant re-applies.
+            self.progress.pop(node_id, None)
+        super()._handle_death(node_id, proc)
+
+    # ------------------------------------------------------------------
+    # Laggard repair (parent-brokered f+1 catch-up)
+    # ------------------------------------------------------------------
+    #: Minimum seconds between repair rounds.
+    REPAIR_INTERVAL_S = 0.5
+    #: Max slots requested/shipped per round.
+    REPAIR_SPAN = 512
+
+    def _pump_repair(self, settling: bool) -> None:
+        """Heal laggards: broker f+1-vouched slot outcomes over the pipes.
+
+        A replica respawned after a SIGKILL restarts with an empty applied
+        log, and slots the cluster already retired will never re-decide for
+        it -- without repair it stays behind forever.  The parent asks the
+        peers that are ahead for their finalized outcomes, tallies them per
+        slot, and ships every slot on which at least f+1 peers agree (so at
+        least one *correct* replica vouches for it) to the laggard, which
+        adopts contiguously and reports fresh progress.  Mid-run, only a
+        gap beyond two pipeline windows triggers repair (ordinary skew
+        heals by itself); once the workload is settling, any gap does.
+        """
+        now = time.monotonic()
+        if now - self._last_repair < self.REPAIR_INTERVAL_S:
+            return
+        self._last_repair = now
+        active = [
+            node_id
+            for node_id in self.correct_ids
+            if node_id not in self._retired and node_id in self.conns
+        ]
+        fronts = {
+            node_id: self.progress[node_id][0]
+            for node_id in active
+            if node_id in self.progress
+        }
+        if len(fronts) < 2:
+            return
+        lead = max(fronts.values())
+        threshold = 0 if settling else 2 * self._service_cfg.get("window", 8)
+        laggards = [
+            node_id for node_id, front in fronts.items()
+            if lead - front > threshold
+        ]
+        if not laggards:
+            if self._repair_votes:
+                self._repair_votes.clear()
+            return
+        f = self.params.f
+        for lag_id in laggards:
+            lo = fronts[lag_id]
+            hi = min(lead, lo + self.REPAIR_SPAN)
+            # Ship whatever contiguous f+1-agreed prefix the collected
+            # votes support, then (re)request the range for the rest.
+            entries: list[tuple[int, object]] = []
+            for index in range(lo, hi):
+                votes = self._repair_votes.get(index)
+                if not votes:
+                    break
+                tally: dict = {}
+                for outcome in votes.values():
+                    tally[outcome] = tally.get(outcome, 0) + 1
+                settled = [v for v, count in tally.items() if count >= f + 1]
+                if len(settled) != 1:
+                    break
+                entries.append((index, settled[0]))
+            if entries:
+                conn = self.conns.get(lag_id)
+                if conn is not None:
+                    try:
+                        conn.send(("adopt", entries))
+                        self.repaired_entries += len(entries)
+                    except (BrokenPipeError, OSError):
+                        pass
+            for peer_id in active:
+                if peer_id == lag_id or fronts.get(peer_id, 0) <= lo:
+                    continue
+                conn = self.conns.get(peer_id)
+                if conn is not None:
+                    try:
+                        conn.send(("repair_req", lo, hi))
+                    except (BrokenPipeError, OSError):
+                        pass
+
+    # ------------------------------------------------------------------
+    # Control-plane status
+    # ------------------------------------------------------------------
+    def status_snapshot(self) -> dict:
+        out = super().status_snapshot()
+        out["service"] = {
+            "primary": self.primary,
+            "commands_issued": self.workload_issued,
+            "commands_total": self.workload_total,
+            "repaired_entries": self.repaired_entries,
+            "progress": {
+                str(node_id): {"next_slot": held[0], "applied": held[1]}
+                for node_id, held in sorted(self.progress.items())
+            },
+        }
+        return out
 
     # ------------------------------------------------------------------
     # Driving
@@ -246,10 +403,11 @@ class SocketLogService(SocketCluster):
         settle_deadline: Optional[float] = None
         results = self._results
         outbox: list[tuple[str, float]] = []
+        self.workload_total = total
         while True:
-            if self._driver is not None:
-                self._driver.pump()
+            self._pump_faults()
             self._pump_supervisor()
+            self._pump_repair(settling=issued >= total)
             now_wall = time.time()
             while issued < total and start + offset <= now_wall:
                 outbox.append((f"cmd{issued}", start + offset))
@@ -257,15 +415,22 @@ class SocketLogService(SocketCluster):
                 offset += rng.expovariate(rate) if poisson else 1.0 / rate
                 if len(outbox) >= self.PIPE_BATCH:
                     break
+            self.workload_issued = issued
             if outbox:
                 conn = self.conns.get(self.primary)
                 if conn is None:
-                    break  # primary died; the run cannot make progress
-                try:
-                    conn.send(("cmds", outbox))
-                except (BrokenPipeError, OSError):
-                    break
-                outbox = []
+                    if not self._supervise or self.primary in self._retired:
+                        break  # primary gone for good: no progress possible
+                    # Primary down but respawning: hold the outbox and keep
+                    # supervising; commands ship once it rejoins.
+                else:
+                    try:
+                        conn.send(("cmds", outbox))
+                        outbox = []
+                    except (BrokenPipeError, OSError):
+                        # Death is classified by the supervisor pump; the
+                        # outbox is retried against the next incarnation.
+                        pass
             if issued >= total:
                 if settle_deadline is None:
                     settle_deadline = time.monotonic() + settle_timeout_s
@@ -275,6 +440,9 @@ class SocketLogService(SocketCluster):
                     break
             waitable = list(self.conns.values())
             if not waitable:
+                if self._supervise and (self._down or self._awaiting_port):
+                    time.sleep(0.02)
+                    continue
                 break
             ready = multiprocessing.connection.wait(waitable, timeout=0.02)
             for conn in ready:
@@ -356,6 +524,7 @@ class SocketLogService(SocketCluster):
             digests=digests,
             applied_per_replica=applied,
             exit_reasons=dict(self._exit_reason),
+            repaired_entries=self.repaired_entries,
         )
 
 

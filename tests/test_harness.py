@@ -155,3 +155,53 @@ class TestStats:
     def test_summary_as_dict(self):
         s = summarize([5.0])
         assert s.as_dict()["count"] == 1
+
+
+class TestSummarizeLatencies:
+    """Nearest-rank percentiles, verified against hand-computed values.
+
+    Nearest-rank: the q-th percentile of a sorted n-sample is the
+    ``ceil(q * n)``-th smallest value.  The old ``int(q * n)`` index was
+    one rank high everywhere it mattered: p50 of an even-sized sample
+    took the upper middle, and p99 of exactly 100 samples took the max.
+    """
+
+    def test_even_sample_p50_is_lower_middle(self):
+        from repro.harness.benchrecord import summarize_latencies
+
+        out = summarize_latencies([0.004, 0.001, 0.003, 0.002])
+        # ceil(0.5 * 4) = 2nd smallest = 2ms (the buggy index gave 3ms).
+        assert out["p50_ms"] == pytest.approx(2.0)
+        # ceil(0.99 * 4) = 4th smallest: p99 of 4 samples IS the max.
+        assert out["p99_ms"] == pytest.approx(4.0)
+        assert out["mean_ms"] == pytest.approx(2.5)
+        assert out["max_ms"] == pytest.approx(4.0)
+
+    def test_p99_of_100_samples_is_99th_value_not_max(self):
+        from repro.harness.benchrecord import summarize_latencies
+
+        out = summarize_latencies([i / 1000.0 for i in range(1, 101)])
+        assert out["p50_ms"] == pytest.approx(50.0)
+        # ceil(0.99 * 100) = 99th smallest = 99ms (the buggy index
+        # returned the 100th -- the max -- so p99 == max on every
+        # 100-sample run).
+        assert out["p99_ms"] == pytest.approx(99.0)
+        assert out["max_ms"] == pytest.approx(100.0)
+
+    def test_odd_sample_p50_is_exact_middle(self):
+        from repro.harness.benchrecord import summarize_latencies
+
+        out = summarize_latencies([0.005, 0.001, 0.003])
+        assert out["p50_ms"] == pytest.approx(3.0)
+
+    def test_single_sample_and_empty(self):
+        from repro.harness.benchrecord import summarize_latencies
+
+        out = summarize_latencies([0.007])
+        assert out["p50_ms"] == pytest.approx(7.0)
+        assert out["p99_ms"] == pytest.approx(7.0)
+        assert out["max_ms"] == pytest.approx(7.0)
+        zeros = summarize_latencies([])
+        assert zeros == {
+            "p50_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0, "max_ms": 0.0
+        }
